@@ -1,0 +1,210 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (one benchmark per artifact), plus micro-benchmarks of the core
+// algorithms. Figure benchmarks run the corresponding experiment at a
+// reduced workload scale per iteration; the printed tables of the full
+// harness come from `go run ./cmd/vprobe-sim`.
+//
+// Reported custom metrics:
+//
+//	improvement_pct — vProbe's execution-time gain over Credit
+//	remote_pct      — remote access ratio of the relevant configuration
+package vprobe_test
+
+import (
+	"testing"
+
+	"vprobe/internal/core"
+	"vprobe/internal/experiments"
+	"vprobe/internal/mem"
+	"vprobe/internal/numa"
+	"vprobe/internal/perf"
+	"vprobe/internal/sched"
+	"vprobe/internal/sim"
+	"vprobe/internal/workload"
+	"vprobe/internal/xen"
+)
+
+// benchOpts keeps one benchmark iteration around a second of wall time.
+func benchOpts() experiments.Options {
+	return experiments.Options{Scale: 0.25, Repeats: 1, Seed: 1}
+}
+
+func runExperiment(b *testing.B, id string, opts experiments.Options) *experiments.Result {
+	b.Helper()
+	e, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var res *experiments.Result
+	for i := 0; i < b.N; i++ {
+		res, err = e.Run(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return res
+}
+
+// BenchmarkTable1 regenerates the platform description (paper Table I).
+func BenchmarkTable1(b *testing.B) {
+	runExperiment(b, "table1", benchOpts())
+}
+
+// BenchmarkFig1 regenerates the Credit remote-access ratios (paper Fig. 1).
+func BenchmarkFig1(b *testing.B) {
+	res := runExperiment(b, "fig1", benchOpts())
+	b.ReportMetric(100*res.Get("page-remote/credit", "soplex"), "soplex_page_remote_pct")
+}
+
+// BenchmarkFig3 regenerates the bound calibration (paper Fig. 3).
+func BenchmarkFig3(b *testing.B) {
+	res := runExperiment(b, "fig3", benchOpts())
+	b.ReportMetric(res.Get("rpti/solo", "libquantum"), "libquantum_rpti")
+}
+
+// BenchmarkFig4 regenerates the SPEC comparison (paper Fig. 4).
+func BenchmarkFig4(b *testing.B) {
+	opts := benchOpts()
+	opts.Schedulers = []sched.Kind{sched.KindCredit, sched.KindVProbe}
+	res := runExperiment(b, "fig4", opts)
+	b.ReportMetric(100*(1-res.Get("exec/vprobe", "soplex")), "soplex_improvement_pct")
+}
+
+// BenchmarkFig5 regenerates the NPB comparison (paper Fig. 5).
+func BenchmarkFig5(b *testing.B) {
+	opts := benchOpts()
+	opts.Schedulers = []sched.Kind{sched.KindCredit, sched.KindVProbe}
+	res := runExperiment(b, "fig5", opts)
+	b.ReportMetric(100*(1-res.Get("exec/vprobe", "sp")), "sp_improvement_pct")
+}
+
+// BenchmarkFig6 regenerates the memcached sweep (paper Fig. 6).
+func BenchmarkFig6(b *testing.B) {
+	opts := benchOpts()
+	opts.Schedulers = []sched.Kind{sched.KindCredit, sched.KindVProbe}
+	res := runExperiment(b, "fig6", opts)
+	b.ReportMetric(100*(1-res.Get("exec/vprobe", "80")), "c80_improvement_pct")
+}
+
+// BenchmarkFig7 regenerates the Redis sweep (paper Fig. 7).
+func BenchmarkFig7(b *testing.B) {
+	opts := benchOpts()
+	opts.Schedulers = []sched.Kind{sched.KindCredit, sched.KindVProbe}
+	opts.Horizon = 60 * sim.Second
+	res := runExperiment(b, "fig7", opts)
+	base := res.Get("throughput/credit", "2000")
+	if base > 0 {
+		b.ReportMetric(100*(res.Get("throughput/vprobe", "2000")/base-1), "conn2000_gain_pct")
+	}
+}
+
+// BenchmarkFig8 regenerates the sampling-period sweep (paper Fig. 8).
+func BenchmarkFig8(b *testing.B) {
+	res := runExperiment(b, "fig8", benchOpts())
+	b.ReportMetric(res.Get("exec/vprobe", "1.000s"), "exec_at_1s_sec")
+}
+
+// BenchmarkTable3 regenerates the overhead measurement (paper Table III).
+func BenchmarkTable3(b *testing.B) {
+	res := runExperiment(b, "table3", benchOpts())
+	b.ReportMetric(res.Get("overhead/vprobe", "4"), "overhead_4vm_pct")
+}
+
+// BenchmarkAblateAffinity regenerates the Eq. 1 ablation.
+func BenchmarkAblateAffinity(b *testing.B) {
+	runExperiment(b, "ablate-affinity", benchOpts())
+}
+
+// BenchmarkFourNode regenerates the 4-node extension experiment.
+func BenchmarkFourNode(b *testing.B) {
+	runExperiment(b, "fournode", benchOpts())
+}
+
+// --- Micro-benchmarks of the core algorithms ---------------------------
+
+// BenchmarkPartition measures Algorithm 1 on a 24-VCPU, 4-node input.
+func BenchmarkPartition(b *testing.B) {
+	rng := sim.NewRNG(1)
+	stats := make([]core.Stat, 24)
+	for i := range stats {
+		typ := core.TypeT
+		if rng.Intn(2) == 0 {
+			typ = core.TypeFI
+		}
+		stats[i] = core.Stat{
+			VCPU: i, Pressure: 5 + rng.Float64()*25,
+			Affinity: numa.NodeID(rng.Intn(4)), Type: typ,
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Partition(stats, 4)
+	}
+}
+
+// BenchmarkPickSteal measures Algorithm 2 on a loaded 4-node machine.
+func BenchmarkPickSteal(b *testing.B) {
+	rng := sim.NewRNG(2)
+	queues := make(map[numa.NodeID][]core.QueueView)
+	for n := 0; n < 4; n++ {
+		var views []core.QueueView
+		for c := 0; c < 4; c++ {
+			var run []core.RunnableVCPU
+			for v := 0; v < 3; v++ {
+				run = append(run, core.RunnableVCPU{
+					VCPU: n*100 + c*10 + v, Pressure: rng.Float64() * 30,
+				})
+			}
+			views = append(views, core.QueueView{
+				CPU: numa.CPUID(n*4 + c), Workload: rng.Intn(5), Runnable: run,
+			})
+		}
+		queues[numa.NodeID(n)] = views
+	}
+	order := []numa.NodeID{1, 2, 3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.PickSteal(0, order, queues)
+	}
+}
+
+// BenchmarkPerfExecute measures one quantum evaluation of the performance
+// model (the simulation's inner loop).
+func BenchmarkPerfExecute(b *testing.B) {
+	s := perf.NewSystem(numa.XeonE5620())
+	req := perf.Request{
+		Profile:      workload.Soplex(),
+		Quantum:      30 * sim.Millisecond,
+		RunNode:      0,
+		PageDist:     mem.Dist{0.7, 0.3},
+		CoRunnerRPTI: 40,
+		ColdLines:    5000,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Execute(req)
+	}
+}
+
+// BenchmarkSimulationSecond measures simulating one virtual second of the
+// full standard scenario under vProbe (events/sec of the engine).
+func BenchmarkSimulationSecond(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := xen.New(numa.XeonE5620(), sched.MustNew(sched.KindVProbe), xen.DefaultConfig())
+		vm, err := h.CreateDomain("vm", 8*1024, 8, mem.PolicyStripe)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < 4; j++ {
+			if _, err := h.AttachApp(vm, j, workload.Soplex()); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for j := 4; j < 8; j++ {
+			if _, err := h.AttachApp(vm, j, workload.GuestIdle()); err != nil {
+				b.Fatal(err)
+			}
+		}
+		h.Run(sim.Second)
+	}
+}

@@ -1,0 +1,160 @@
+// Command vprobe-compare runs the same workload under several schedulers
+// and prints a side-by-side comparison — the quickest way to explore how a
+// custom VM/workload mix responds to each policy.
+//
+// Usage:
+//
+//	vprobe-compare [-w "soplex:4"] [-i "soplex:4"] [-sched credit,vprobe,lb] \
+//	               [-seeds 3] [-scale 0.5] [-horizon 600]
+//
+// -w is the measured VM's workload spec, -i the interfering VM's (see
+// internal/workload.ParseSpec for the syntax). A third VM always runs
+// eight hungry loops, as in the paper's standard setup.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"vprobe/internal/mem"
+	"vprobe/internal/metrics"
+	"vprobe/internal/numa"
+	"vprobe/internal/sched"
+	"vprobe/internal/sim"
+	"vprobe/internal/workload"
+	"vprobe/internal/xen"
+)
+
+func main() {
+	wSpec := flag.String("w", "soplex:4", "measured VM workload spec")
+	iSpec := flag.String("i", "soplex:4", "interfering VM workload spec")
+	schedList := flag.String("sched", "credit,vprobe,vcpu-p,lb,brm", "schedulers to compare")
+	seeds := flag.Int("seeds", 3, "seeds to average over")
+	scale := flag.Float64("scale", 0.5, "workload scale factor")
+	horizon := flag.Float64("horizon", 1200, "virtual-time cap in seconds")
+	topoName := flag.String("topo", "xeon-e5620", "topology preset name or JSON file path")
+	flag.Parse()
+
+	top, err := numa.Resolve(*topoName)
+	if err != nil {
+		fatal(err)
+	}
+
+	apps1, err := workload.ParseSpec(*wSpec)
+	if err != nil {
+		fatal(err)
+	}
+	apps2, err := workload.ParseSpec(*iSpec)
+	if err != nil {
+		fatal(err)
+	}
+	if len(apps1) > 8 || len(apps2) > 8 {
+		fatal(fmt.Errorf("at most 8 apps per VM (got %d / %d)", len(apps1), len(apps2)))
+	}
+
+	t := metrics.NewTable(
+		fmt.Sprintf("workload %q vs interference %q (%d seeds, scale %.2f)",
+			*wSpec, *iSpec, *seeds, *scale),
+		"scheduler", "exec(s)", "remote", "page-remote", "moves/app", "overhead")
+	for _, name := range strings.Split(*schedList, ",") {
+		kind := sched.Kind(strings.TrimSpace(name))
+		var execs, remotes, pages, moves, overheads []float64
+		for s := 0; s < *seeds; s++ {
+			res, err := runOnce(top, kind, apps1, apps2, uint64(s+1), *scale, *horizon)
+			if err != nil {
+				fatal(err)
+			}
+			execs = append(execs, res.exec)
+			remotes = append(remotes, res.remote)
+			pages = append(pages, res.page)
+			moves = append(moves, res.moves)
+			overheads = append(overheads, res.overhead)
+		}
+		t.AddRow(string(kind),
+			fmt.Sprintf("%.2f", sim.Mean(execs)),
+			metrics.Pct(sim.Mean(remotes)),
+			metrics.Pct(sim.Mean(pages)),
+			fmt.Sprintf("%.1f", sim.Mean(moves)),
+			fmt.Sprintf("%.5f%%", 100*sim.Mean(overheads)))
+	}
+	fmt.Print(t.String())
+}
+
+type oneResult struct {
+	exec, remote, page, moves, overhead float64
+}
+
+func runOnce(top *numa.Topology, kind sched.Kind, apps1, apps2 []*workload.Profile, seed uint64, scale, horizon float64) (oneResult, error) {
+	pol, err := sched.New(kind)
+	if err != nil {
+		return oneResult{}, err
+	}
+	cfg := xen.DefaultConfig()
+	cfg.Seed = seed
+	h := xen.New(top, pol, cfg)
+
+	vm1, err := h.CreateDomain("VM1", 15*1024, 8, mem.PolicyStripe)
+	if err != nil {
+		return oneResult{}, err
+	}
+	vm2, err := h.CreateDomain("VM2", 5*1024, 8, mem.PolicyFill)
+	if err != nil {
+		return oneResult{}, err
+	}
+	vm3, err := h.CreateDomain("VM3", 1024, 8, mem.PolicyFill)
+	if err != nil {
+		return oneResult{}, err
+	}
+	attach := func(d *xen.Domain, apps []*workload.Profile) error {
+		for i, app := range apps {
+			p := app.Clone()
+			if p.TotalInstructions > 0 && p.TotalInstructions < 1e17 {
+				p.TotalInstructions *= scale
+			}
+			if _, err := h.AttachApp(d, i, p); err != nil {
+				return err
+			}
+		}
+		for i := len(apps); i < len(d.VCPUs); i++ {
+			if _, err := h.AttachApp(d, i, workload.GuestIdle()); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := attach(vm1, apps1); err != nil {
+		return oneResult{}, err
+	}
+	if err := attach(vm2, apps2); err != nil {
+		return oneResult{}, err
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := h.AttachApp(vm3, i, workload.Hungry()); err != nil {
+			return oneResult{}, err
+		}
+	}
+	h.WatchDomains(vm1)
+	end := h.Run(sim.DurationFromSeconds(horizon))
+	runs := metrics.CollectDomain(vm1, end)
+	var mv float64
+	for _, r := range runs {
+		mv += float64(r.NodeMoves)
+	}
+	if len(runs) > 0 {
+		mv /= float64(len(runs))
+	}
+	return oneResult{
+		exec:     metrics.AvgExecSeconds(runs),
+		remote:   metrics.AvgRemoteRatio(runs),
+		page:     metrics.AvgPageRemoteRatio(runs),
+		moves:    mv,
+		overhead: h.OverheadFraction(),
+	}, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vprobe-compare:", err)
+	os.Exit(1)
+}

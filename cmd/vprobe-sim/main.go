@@ -1,0 +1,80 @@
+// Command vprobe-sim runs the paper-reproduction experiments and prints
+// their tables.
+//
+// Usage:
+//
+//	vprobe-sim [-scale f] [-seed n] [-list] [experiment ...]
+//
+// Without arguments it runs every registered experiment. Experiment ids
+// match the paper's artifacts: table1, fig1, fig3, fig4, fig5, fig6, fig7,
+// fig8, table3, plus the ablation experiments.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"vprobe/internal/experiments"
+)
+
+func main() {
+	scale := flag.Float64("scale", experiments.DefaultScale,
+		"workload scale factor (1.0 = paper-sized runs)")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	list := flag.Bool("list", false, "list experiments and exit")
+	out := flag.String("out", "", "directory for CSV/JSON result exports")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: %s [flags] [experiment ...]\n\nexperiments:\n", os.Args[0])
+		for _, e := range experiments.All() {
+			fmt.Fprintf(os.Stderr, "  %-18s %s\n", e.ID, e.Title)
+		}
+		fmt.Fprintln(os.Stderr, "\nflags:")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-18s %s\n    paper: %s\n", e.ID, e.Title, e.Paper)
+		}
+		return
+	}
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		ids = experiments.IDs()
+	}
+	opts := experiments.Options{Seed: *seed, Scale: *scale}
+	failed := false
+	for _, id := range ids {
+		e, err := experiments.ByID(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			failed = true
+			continue
+		}
+		start := time.Now()
+		res, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			failed = true
+			continue
+		}
+		fmt.Print(res.String())
+		if *out != "" {
+			paths, err := res.Export(*out)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: export: %v\n", id, err)
+				failed = true
+			} else {
+				fmt.Printf("(exported %v)\n", paths)
+			}
+		}
+		fmt.Printf("(%s ran in %.1fs)\n\n", id, time.Since(start).Seconds())
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

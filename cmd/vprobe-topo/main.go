@@ -1,0 +1,57 @@
+// Command vprobe-topo prints the machine presets: topology, latency
+// matrix, and the paper's Table I configuration.
+//
+// Usage:
+//
+//	vprobe-topo [preset ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"vprobe/internal/numa"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: %s [preset ...]\npresets:\n", os.Args[0])
+		for _, name := range presetNames() {
+			fmt.Fprintf(os.Stderr, "  %s\n", name)
+		}
+	}
+	flag.Parse()
+
+	names := flag.Args()
+	if len(names) == 0 {
+		names = presetNames()
+	}
+	for _, name := range names {
+		top, err := numa.Resolve(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("topology %q\n%s\n", name, top)
+		fmt.Println("  distance matrix (SLIT, 10 = local):")
+		for a := 0; a < top.NumNodes(); a++ {
+			fmt.Print("   ")
+			for b := 0; b < top.NumNodes(); b++ {
+				fmt.Printf(" %3d", top.Distance(numa.NodeID(a), numa.NodeID(b)))
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+}
+
+func presetNames() []string {
+	names := make([]string, 0, len(numa.Presets))
+	for n := range numa.Presets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

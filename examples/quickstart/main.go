@@ -1,0 +1,90 @@
+// Quickstart: run the same memory-intensive workload under the stock Xen
+// Credit scheduler and under vProbe on the paper's two-socket Xeon E5620
+// machine, and compare completion times and remote-access ratios.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"vprobe"
+)
+
+func main() {
+	fmt.Println("vProbe quickstart: 4x soplex + interference, Credit vs vProbe")
+	fmt.Println()
+
+	var baseline time.Duration
+	for _, scheduler := range []vprobe.Scheduler{vprobe.SchedulerCredit, vprobe.SchedulerVProbe} {
+		report, err := run(scheduler)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mean := report.MeanExecTime("workload-vm")
+		fmt.Printf("%s\n", report)
+		if scheduler == vprobe.SchedulerCredit {
+			baseline = mean
+		} else if baseline > 0 {
+			improvement := 100 * (1 - float64(mean)/float64(baseline))
+			fmt.Printf("vProbe improvement over Credit: %.1f%%\n", improvement)
+		}
+		fmt.Println()
+	}
+}
+
+func run(scheduler vprobe.Scheduler) (*vprobe.Report, error) {
+	sim, err := vprobe.NewSimulator(vprobe.Config{
+		Scheduler: scheduler,
+		Seed:      7,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// The measured VM: four LP-solver instances, memory striped across
+	// both NUMA nodes (the paper's VM1 setup).
+	vm1, err := sim.AddVM(vprobe.VMConfig{
+		Name: "workload-vm", MemoryMB: 15 * 1024, VCPUs: 8,
+		Memory: vprobe.MemStripe, FillGuestIdle: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < 4; i++ {
+		if err := vm1.RunApp("soplex"); err != nil {
+			return nil, err
+		}
+	}
+
+	// An interfering VM running the same workload.
+	vm2, err := sim.AddVM(vprobe.VMConfig{
+		Name: "interference-vm", MemoryMB: 5 * 1024, VCPUs: 8,
+		FillGuestIdle: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < 4; i++ {
+		if err := vm2.RunApp("soplex"); err != nil {
+			return nil, err
+		}
+	}
+
+	// CPU burners soaking up the slack (the paper's VM3).
+	vm3, err := sim.AddVM(vprobe.VMConfig{
+		Name: "burner-vm", MemoryMB: 1024, VCPUs: 8,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < 8; i++ {
+		if err := vm3.RunApp("hungry"); err != nil {
+			return nil, err
+		}
+	}
+
+	return sim.RunWatching(20*time.Minute, vm1)
+}

@@ -1,0 +1,81 @@
+// Redis scenario: four redis-server instances answer a GET-heavy load from
+// four benchmark drivers in a second VM (the paper's Fig. 7 setup). The
+// example measures sustained throughput over a fixed window under each
+// scheduler.
+//
+//	go run ./examples/redis
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"vprobe"
+)
+
+func main() {
+	const connections = 4000
+	fmt.Printf("redis scenario: throughput at %d parallel connections\n\n", connections)
+
+	var baseline float64
+	for _, scheduler := range vprobe.Schedulers() {
+		report, err := run(scheduler, connections)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tput := report.TotalRequests() / report.End.Seconds()
+		marker := ""
+		if scheduler == vprobe.SchedulerCredit {
+			baseline = tput
+		} else if baseline > 0 {
+			marker = fmt.Sprintf("  (%+.1f%% vs Credit)", 100*(tput/baseline-1))
+		}
+		fmt.Printf("%-8s %9.0f req/s%s\n", scheduler, tput, marker)
+	}
+}
+
+func run(scheduler vprobe.Scheduler, connections int) (*vprobe.Report, error) {
+	sim, err := vprobe.NewSimulator(vprobe.Config{Scheduler: scheduler, Seed: 3})
+	if err != nil {
+		return nil, err
+	}
+
+	servers, err := sim.AddVM(vprobe.VMConfig{
+		Name: "redis-vm", MemoryMB: 15 * 1024, VCPUs: 8,
+		Memory: vprobe.MemStripe, FillGuestIdle: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < 4; i++ {
+		if err := servers.RunServer("redis", connections); err != nil {
+			return nil, err
+		}
+	}
+
+	// The load generators are CPU-bound driver processes.
+	clients, err := sim.AddVM(vprobe.VMConfig{
+		Name: "bench-vm", MemoryMB: 5 * 1024, VCPUs: 8, FillGuestIdle: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < 4; i++ {
+		if err := clients.RunApp("hungry"); err != nil {
+			return nil, err
+		}
+	}
+
+	burner, err := sim.AddVM(vprobe.VMConfig{Name: "burner", MemoryMB: 1024, VCPUs: 8})
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < 8; i++ {
+		if err := burner.RunApp("hungry"); err != nil {
+			return nil, err
+		}
+	}
+
+	return sim.Run(30 * time.Second)
+}

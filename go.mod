@@ -1,0 +1,3 @@
+module vprobe
+
+go 1.22

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"vprobe/internal/numa"
+)
+
+// RunnableVCPU describes one stealable VCPU waiting in a run queue.
+type RunnableVCPU struct {
+	VCPU     int
+	Pressure float64 // last analysed LLC access pressure
+}
+
+// QueueView is the load-balance algorithm's view of one PCPU's run queue.
+type QueueView struct {
+	CPU numa.CPUID
+	// Workload is the PCPU's queue length (the paper's per-PCPU
+	// workload counter, §IV-B).
+	Workload int
+	// Runnable lists the VCPUs that may be stolen from this queue.
+	Runnable []RunnableVCPU
+}
+
+// StealDecision is Algorithm 2's output.
+type StealDecision struct {
+	From numa.CPUID
+	VCPU int
+}
+
+// PickSteal implements the paper's Algorithm 2, NUMA-aware Load Balance,
+// as a pure decision function. When a PCPU on node local becomes idle it
+// searches nodes in order — local first, then the others in nodeOrder —
+// and within a node checks PCPUs from heaviest workload down. From the
+// first queue that has stealable VCPUs it takes the one with the smallest
+// LLC access pressure (smallest impact on the destination's LLC balance).
+//
+// queues maps node id to the run-queue views of that node's PCPUs; the
+// function sorts each node's views by descending workload itself (stable:
+// equal workloads keep caller order, matching the prototype's fixed PCPU
+// iteration). It returns ok=false when no queue anywhere has work.
+func PickSteal(local numa.NodeID, nodeOrder []numa.NodeID, queues map[numa.NodeID][]QueueView) (StealDecision, bool) {
+	visit := make([]numa.NodeID, 0, len(nodeOrder)+1)
+	visit = append(visit, local)
+	for _, n := range nodeOrder {
+		if n != local {
+			visit = append(visit, n)
+		}
+	}
+	for _, node := range visit {
+		views := queues[node]
+		// Stable selection sort by descending workload (tiny N; keeps
+		// the package dependency-free and the order deterministic).
+		order := make([]int, len(views))
+		for i := range order {
+			order[i] = i
+		}
+		for i := 0; i < len(order); i++ {
+			best := i
+			for j := i + 1; j < len(order); j++ {
+				if views[order[j]].Workload > views[order[best]].Workload {
+					best = j
+				}
+			}
+			order[i], order[best] = order[best], order[i]
+		}
+		for _, idx := range order {
+			q := views[idx]
+			if len(q.Runnable) == 0 {
+				continue
+			}
+			pick := q.Runnable[0]
+			for _, r := range q.Runnable[1:] {
+				if r.Pressure < pick.Pressure {
+					pick = r
+				}
+			}
+			return StealDecision{From: q.CPU, VCPU: pick.VCPU}, true
+		}
+	}
+	return StealDecision{}, false
+}
+
+// NodeOrderFrom returns the node visiting order for an idle PCPU on node
+// local: the paper's nextNode() walks the remote nodes in increasing
+// distance then id order. For the two-node testbed this is simply "the
+// other node".
+func NodeOrderFrom(top *numa.Topology, local numa.NodeID) []numa.NodeID {
+	n := top.NumNodes()
+	order := make([]numa.NodeID, 0, n-1)
+	// Insertion by (distance, id).
+	for id := 0; id < n; id++ {
+		if numa.NodeID(id) == local {
+			continue
+		}
+		order = append(order, numa.NodeID(id))
+	}
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0; j-- {
+			a, b := order[j-1], order[j]
+			da, db := top.Distance(local, a), top.Distance(local, b)
+			if db < da || (db == da && b < a) {
+				order[j-1], order[j] = b, a
+			} else {
+				break
+			}
+		}
+	}
+	return order
+}

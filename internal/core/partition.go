@@ -1,0 +1,129 @@
+package core
+
+import (
+	"vprobe/internal/numa"
+)
+
+// Assignment is one output row of Algorithm 1: the VCPU identified by VCPU
+// should run on Node for the next sampling period.
+type Assignment struct {
+	VCPU int
+	Node numa.NodeID
+}
+
+// Partition implements the paper's Algorithm 1, VCPU Periodical
+// Partitioning. It reassigns every memory-intensive VCPU (types LLC-T and
+// LLC-FI) to a node such that the per-node counts differ by at most one,
+// preferring to place each VCPU on its memory node affinity (local node),
+// and otherwise draining the largest remaining affinity group to maximise
+// other VCPUs' chances of local placement.
+//
+// LLC-FR VCPUs are not assigned (the default load balancing handles them);
+// they simply do not appear in the output.
+//
+// The input order within each (type, affinity) group is preserved — the
+// algorithm's "first VCPU of the group" is the first in stats order, so
+// callers control tie-breaking by ordering their input (the prototype
+// iterates Xen's per-domain VCPU lists).
+//
+// VCPUs with no affinity signal (numa.NoNode) are grouped under node 0;
+// for a memory-intensive VCPU this only happens in degenerate windows.
+func Partition(stats []Stat, numNodes int) []Assignment {
+	if numNodes <= 0 {
+		return nil
+	}
+
+	// groupOfVc(c, p): unassigned VCPUs of category c with affinity p.
+	// Index 0 = LLC-T, 1 = LLC-FI (assignment priority order).
+	groups := [2][]([]int){}
+	for i := range groups {
+		groups[i] = make([][]int, numNodes)
+	}
+	for _, s := range stats {
+		var cat int
+		switch s.Type {
+		case TypeT:
+			cat = 0
+		case TypeFI:
+			cat = 1
+		default:
+			continue // LLC-FR: default strategy
+		}
+		aff := int(s.Affinity)
+		if aff < 0 || aff >= numNodes {
+			aff = 0
+		}
+		groups[cat][aff] = append(groups[cat][aff], s.VCPU)
+	}
+
+	remaining := 0
+	for cat := range groups {
+		for _, g := range groups[cat] {
+			remaining += len(g)
+		}
+	}
+
+	load := make([]int, numNodes) // reassigned_load per node
+	out := make([]Assignment, 0, remaining)
+
+	// getMinNode: smallest reassigned_load, ties toward lowest id.
+	minNode := func() int {
+		best := 0
+		for i := 1; i < numNodes; i++ {
+			if load[i] < load[best] {
+				best = i
+			}
+		}
+		return best
+	}
+	// Largest group of a category, ties toward lowest node id.
+	maxGroup := func(cat int) int {
+		best := -1
+		for i := 0; i < numNodes; i++ {
+			if len(groups[cat][i]) == 0 {
+				continue
+			}
+			if best == -1 || len(groups[cat][i]) > len(groups[cat][best]) {
+				best = i
+			}
+		}
+		return best
+	}
+	catEmpty := func(cat int) bool {
+		for _, g := range groups[cat] {
+			if len(g) > 0 {
+				return false
+			}
+		}
+		return true
+	}
+
+	for remaining > 0 {
+		node := minNode()
+		cat := 0 // prefer LLC-T
+		if catEmpty(0) {
+			cat = 1
+		}
+		src := node
+		if len(groups[cat][node]) == 0 {
+			src = maxGroup(cat)
+		}
+		vc := groups[cat][src][0]
+		groups[cat][src] = groups[cat][src][1:]
+		out = append(out, Assignment{VCPU: vc, Node: numa.NodeID(node)})
+		load[node]++
+		remaining--
+	}
+	return out
+}
+
+// NodeLoads tallies how many assignments landed on each node.
+func NodeLoads(as []Assignment, numNodes int) []int {
+	loads := make([]int, numNodes)
+	for _, a := range as {
+		if int(a.Node) >= 0 && int(a.Node) < numNodes {
+			loads[a.Node]++
+		}
+	}
+	return loads
+}

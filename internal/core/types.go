@@ -1,0 +1,118 @@
+// Package core implements the paper's contribution as pure, independently
+// testable algorithms: the PMU data analyzer (Eqs. 1–3), the VCPU
+// periodical partitioning mechanism (Algorithm 1), and the NUMA-aware load
+// balance mechanism (Algorithm 2). It also implements the §VI future-work
+// extension of dynamically adapted classification bounds.
+//
+// Nothing here depends on the hypervisor model; internal/sched adapts these
+// functions into scheduler policies. That separation mirrors the paper's
+// own: the mechanisms are defined over per-VCPU memory-access
+// characteristics, however obtained.
+package core
+
+import (
+	"fmt"
+
+	"vprobe/internal/numa"
+	"vprobe/internal/pmu"
+)
+
+// VCPUType is the paper's three-way classification (Eq. 3).
+type VCPUType int
+
+const (
+	// TypeFR is LLC friendly: negligible LLC demand.
+	TypeFR VCPUType = iota
+	// TypeFI is LLC fitting: fits alone, degrades under contention.
+	TypeFI
+	// TypeT is LLC thrashing: misses heavily regardless of share.
+	TypeT
+)
+
+// String returns the paper's name for the type.
+func (t VCPUType) String() string {
+	switch t {
+	case TypeFR:
+		return "LLC-FR"
+	case TypeFI:
+		return "LLC-FI"
+	case TypeT:
+		return "LLC-T"
+	default:
+		return fmt.Sprintf("VCPUType(%d)", int(t))
+	}
+}
+
+// MemoryIntensive reports whether the type participates in periodical
+// partitioning (LLC-T and LLC-FI do; LLC-FR VCPUs stay with the default
+// load balancing, §III-C).
+func (t VCPUType) MemoryIntensive() bool { return t == TypeFI || t == TypeT }
+
+// Bounds are the classification thresholds of Eq. 3. The paper calibrates
+// low=3 and high=20 from Fig. 3 (§IV-A).
+type Bounds struct {
+	Low  float64
+	High float64
+}
+
+// DefaultBounds returns the paper's calibrated bounds.
+func DefaultBounds() Bounds { return Bounds{Low: 3, High: 20} }
+
+// Validate reports whether the bounds are ordered.
+func (b Bounds) Validate() error {
+	if b.Low < 0 || b.High < b.Low {
+		return fmt.Errorf("core: invalid bounds low=%v high=%v", b.Low, b.High)
+	}
+	return nil
+}
+
+// Classify applies Eq. 3 to an LLC access pressure.
+func (b Bounds) Classify(pressure float64) VCPUType {
+	switch {
+	case pressure < b.Low:
+		return TypeFR
+	case pressure < b.High:
+		return TypeFI
+	default:
+		return TypeT
+	}
+}
+
+// Stat is the analyzer's per-VCPU output for one sampling period: the two
+// memory access characteristics of §III-B plus the derived type.
+type Stat struct {
+	// VCPU is an opaque identifier assigned by the caller.
+	VCPU int
+	// Pressure is the LLC access pressure R of Eq. 2.
+	Pressure float64
+	// Affinity is the memory node affinity of Eq. 1 (NoNode when the
+	// VCPU made no memory accesses during the period).
+	Affinity numa.NodeID
+	// Type is the Eq. 3 classification of Pressure.
+	Type VCPUType
+}
+
+// Analyzer computes Stats from sampled PMU windows. This is the paper's
+// "PMU data analyzer" component.
+type Analyzer struct {
+	// Alpha is Eq. 2's scaling constant (paper: 1000).
+	Alpha float64
+	// Bounds classify the resulting pressures.
+	Bounds Bounds
+}
+
+// NewAnalyzer returns an analyzer with the paper's constants.
+func NewAnalyzer() *Analyzer {
+	return &Analyzer{Alpha: 1000, Bounds: DefaultBounds()}
+}
+
+// Analyze converts one VCPU's sampling-period delta into a Stat.
+func (a *Analyzer) Analyze(vcpu int, d pmu.Delta) Stat {
+	p := d.Pressure(a.Alpha)
+	return Stat{
+		VCPU:     vcpu,
+		Pressure: p,
+		Affinity: d.AffinityNode(),
+		Type:     a.Bounds.Classify(p),
+	}
+}

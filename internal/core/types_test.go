@@ -1,0 +1,111 @@
+package core
+
+import (
+	"testing"
+
+	"vprobe/internal/numa"
+	"vprobe/internal/pmu"
+)
+
+func TestClassifyEquation3(t *testing.T) {
+	b := DefaultBounds()
+	// Paper §IV-A: low=3, high=20 with the Fig. 3 measurements.
+	cases := []struct {
+		app      string
+		pressure float64
+		want     VCPUType
+	}{
+		{"povray", 0.48, TypeFR},
+		{"ep", 2.01, TypeFR},
+		{"lu", 15.38, TypeFI},
+		{"mg", 16.33, TypeFI},
+		{"milc", 21.68, TypeT},
+		{"libquantum", 22.41, TypeT},
+		// Boundary semantics of Eq. 3: R < low is FR, low <= R < high
+		// is FI, R >= high is T.
+		{"at-low", 3, TypeFI},
+		{"below-low", 2.999, TypeFR},
+		{"at-high", 20, TypeT},
+		{"below-high", 19.999, TypeFI},
+		{"zero", 0, TypeFR},
+	}
+	for _, c := range cases {
+		if got := b.Classify(c.pressure); got != c.want {
+			t.Errorf("%s (R=%v): classified %v, want %v", c.app, c.pressure, got, c.want)
+		}
+	}
+}
+
+func TestBoundsValidate(t *testing.T) {
+	if err := DefaultBounds().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Bounds{Low: -1, High: 5}).Validate(); err == nil {
+		t.Fatal("negative low accepted")
+	}
+	if err := (Bounds{Low: 10, High: 5}).Validate(); err == nil {
+		t.Fatal("inverted bounds accepted")
+	}
+}
+
+func TestMemoryIntensive(t *testing.T) {
+	if TypeFR.MemoryIntensive() {
+		t.Fatal("LLC-FR is not memory intensive")
+	}
+	if !TypeFI.MemoryIntensive() || !TypeT.MemoryIntensive() {
+		t.Fatal("LLC-FI and LLC-T are memory intensive")
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	if TypeFR.String() != "LLC-FR" || TypeFI.String() != "LLC-FI" || TypeT.String() != "LLC-T" {
+		t.Fatal("type names diverge from the paper")
+	}
+	if VCPUType(7).String() == "" {
+		t.Fatal("unknown type stringer empty")
+	}
+}
+
+func TestAnalyzer(t *testing.T) {
+	a := NewAnalyzer()
+	// libquantum-like window: RPTI 22.41, mostly node-1 accesses.
+	d := pmu.Delta{
+		Instructions: 1e9,
+		LLCRef:       22.41e6,
+		LLCMiss:      13e6,
+		Node:         []float64{3e6, 10e6},
+		Remote:       3e6,
+	}
+	s := a.Analyze(7, d)
+	if s.VCPU != 7 {
+		t.Fatalf("VCPU id = %d", s.VCPU)
+	}
+	if s.Pressure < 22.40 || s.Pressure > 22.42 {
+		t.Fatalf("pressure = %v, want ~22.41", s.Pressure)
+	}
+	if s.Type != TypeT {
+		t.Fatalf("type = %v, want LLC-T", s.Type)
+	}
+	if s.Affinity != 1 {
+		t.Fatalf("affinity = %v, want 1 (Eq. 1 argmax)", s.Affinity)
+	}
+}
+
+func TestAnalyzerEmptyWindow(t *testing.T) {
+	a := NewAnalyzer()
+	s := a.Analyze(1, pmu.Delta{})
+	if s.Type != TypeFR {
+		t.Fatalf("idle window type = %v, want LLC-FR", s.Type)
+	}
+	if s.Affinity != numa.NoNode {
+		t.Fatalf("idle window affinity = %v, want NoNode", s.Affinity)
+	}
+}
+
+func TestAnalyzerAlphaScaling(t *testing.T) {
+	a := &Analyzer{Alpha: 500, Bounds: DefaultBounds()}
+	d := pmu.Delta{Instructions: 1000, LLCRef: 10}
+	if got := a.Analyze(0, d).Pressure; got != 5 {
+		t.Fatalf("pressure with alpha=500: %v, want 5", got)
+	}
+}

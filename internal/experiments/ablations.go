@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"fmt"
+
+	"vprobe/internal/core"
+	"vprobe/internal/mem"
+	"vprobe/internal/metrics"
+	"vprobe/internal/numa"
+	"vprobe/internal/sched"
+	"vprobe/internal/sim"
+	"vprobe/internal/workload"
+	"vprobe/internal/xen"
+)
+
+// coreDynamic builds the adaptive-bounds tracker.
+func coreDynamic() *core.DynamicBounds { return core.NewDynamicBounds() }
+
+// ablationVariant is one configuration of the vProbe family under test.
+type ablationVariant struct {
+	Label string
+	Make  func() xen.Policy
+	// Migrate enables the §VI page-migration extension.
+	Migrate bool
+}
+
+// runVariants executes the standard mix scenario for each variant over the
+// option seeds and reports mean VM1 execution time and remote ratio.
+func runVariants(r *Result, variants []ablationVariant, opts Options, top func() *numa.Topology) error {
+	t := metrics.NewTable(r.Title, "variant", "exec(s)", "remote", "node-moves")
+	for _, variant := range variants {
+		var execs, remotes, moves []float64
+		for rep := 0; rep < opts.Repeats; rep++ {
+			cfg := xen.DefaultConfig()
+			cfg.Seed = opts.Seed + uint64(rep)
+			h := xen.New(top(), variant.Make(), cfg)
+			if variant.Migrate {
+				h.Migrator = mem.DefaultMigrator()
+			}
+			sc, err := buildStandardVMs(h, mixApps(), mixApps(), opts)
+			if err != nil {
+				return err
+			}
+			runs, _ := sc.runMeasured(opts)
+			execs = append(execs, metrics.AvgExecSeconds(runs))
+			remotes = append(remotes, metrics.AvgRemoteRatio(runs))
+			m := 0
+			for _, run := range runs {
+				m += run.NodeMoves
+			}
+			moves = append(moves, float64(m))
+		}
+		exec := sim.Mean(execs)
+		remote := sim.Mean(remotes)
+		r.Set("exec/"+variant.Label, "mix", exec)
+		r.Set("remote/"+variant.Label, "mix", remote)
+		t.AddRow(variant.Label, fmt.Sprintf("%.2f", exec),
+			metrics.Pct(remote), fmt.Sprintf("%.0f", sim.Mean(moves)))
+	}
+	r.Tables = append(r.Tables, t)
+	return nil
+}
+
+// runAblateAffinity isolates Eq. 1's value: vProbe with the memory node
+// affinity information erased (partitioning balances counts but places
+// VCPUs blindly) against full vProbe and Credit.
+func runAblateAffinity(opts Options) (*Result, error) {
+	opts = opts.normalized()
+	r := &Result{ID: "ablate-affinity", Title: "Ablation: memory node affinity (Eq. 1)"}
+	variants := []ablationVariant{
+		{Label: "credit", Make: func() xen.Policy { return sched.NewCredit() }},
+		{Label: "vprobe", Make: func() xen.Policy { return sched.NewVProbe() }},
+		{Label: "vprobe-no-affinity", Make: func() xen.Policy {
+			p := sched.NewVProbe()
+			p.DisableAffinity = true
+			return p
+		}},
+	}
+	if err := runVariants(r, variants, opts, numa.XeonE5620); err != nil {
+		return nil, err
+	}
+	r.Tables[0].AddNote("without Eq. 1, partitioning balances LLC pressure but scatters memory")
+	return r, nil
+}
+
+// runAblateDynamic evaluates the §VI dynamic-bounds extension.
+func runAblateDynamic(opts Options) (*Result, error) {
+	opts = opts.normalized()
+	r := &Result{ID: "ablate-dynamic", Title: "Extension: dynamic classification bounds (§VI)"}
+	variants := []ablationVariant{
+		{Label: "vprobe-static", Make: func() xen.Policy { return sched.NewVProbe() }},
+		{Label: "vprobe-dynamic", Make: func() xen.Policy {
+			p := sched.NewVProbe()
+			p.Dynamic = coreDynamic()
+			return p
+		}},
+	}
+	if err := runVariants(r, variants, opts, numa.XeonE5620); err != nil {
+		return nil, err
+	}
+	r.Tables[0].AddNote("bounds adapt to the running pressure distribution instead of (3, 20)")
+	return r, nil
+}
+
+// runAblatePageMigration evaluates the §VI page-migration extension
+// combined with each scheduler.
+func runAblatePageMigration(opts Options) (*Result, error) {
+	opts = opts.normalized()
+	r := &Result{ID: "ablate-pagemig", Title: "Extension: page migration (§VI)"}
+	variants := []ablationVariant{
+		{Label: "credit", Make: func() xen.Policy { return sched.NewCredit() }},
+		{Label: "credit+pagemig", Make: func() xen.Policy { return sched.NewCredit() }, Migrate: true},
+		{Label: "vprobe", Make: func() xen.Policy { return sched.NewVProbe() }},
+		{Label: "vprobe+pagemig", Make: func() xen.Policy { return sched.NewVProbe() }, Migrate: true},
+	}
+	if err := runVariants(r, variants, opts, numa.XeonE5620); err != nil {
+		return nil, err
+	}
+	r.Tables[0].AddNote("pages lazily follow the VCPU; the paper expects this to help Credit most")
+	return r, nil
+}
+
+// runFourNode exercises the N > 2 paths of Algorithms 1 and 2 on a
+// synthetic 4-node machine.
+func runFourNode(opts Options) (*Result, error) {
+	opts = opts.normalized()
+	r := &Result{ID: "fournode", Title: "4-node topology (N > 2 algorithm paths)"}
+	t := metrics.NewTable(r.Title, "scheduler", "exec(s)", "remote")
+	apps := []*workload.Profile{
+		workload.Soplex(), workload.Libquantum(), workload.MCF(), workload.Milc(),
+		workload.LU(), workload.MG(), workload.SP(), workload.CG(),
+	}
+	for _, kind := range []sched.Kind{sched.KindCredit, sched.KindVProbe, sched.KindLB} {
+		var execs, remotes []float64
+		for rep := 0; rep < opts.Repeats; rep++ {
+			pol, err := sched.New(kind)
+			if err != nil {
+				return nil, err
+			}
+			cfg := xen.DefaultConfig()
+			cfg.Seed = opts.Seed + uint64(rep)
+			h := xen.New(numa.FourNode(), pol, cfg)
+			vm1, err := h.CreateDomain("VM1", 32*1024, 16, mem.PolicyStripe)
+			if err != nil {
+				return nil, err
+			}
+			vm2, err := h.CreateDomain("VM2", 16*1024, 16, mem.PolicyFill)
+			if err != nil {
+				return nil, err
+			}
+			for i, app := range apps {
+				p := app.Clone()
+				p.TotalInstructions *= opts.Scale
+				if _, err := h.AttachApp(vm1, i, p); err != nil {
+					return nil, err
+				}
+				q := app.Clone()
+				q.TotalInstructions *= opts.Scale
+				if _, err := h.AttachApp(vm2, i, q); err != nil {
+					return nil, err
+				}
+			}
+			for i := len(apps); i < 16; i++ {
+				h.AttachApp(vm1, i, workload.GuestIdle())
+				h.AttachApp(vm2, i, workload.Hungry())
+			}
+			h.WatchDomains(vm1)
+			end := h.Run(opts.Horizon)
+			runs := metrics.CollectDomain(vm1, end)
+			execs = append(execs, metrics.AvgExecSeconds(runs))
+			remotes = append(remotes, metrics.AvgRemoteRatio(runs))
+		}
+		exec := sim.Mean(execs)
+		remote := sim.Mean(remotes)
+		r.Set("exec/"+string(kind), "fournode", exec)
+		r.Set("remote/"+string(kind), "fournode", remote)
+		t.AddRow(string(kind), fmt.Sprintf("%.2f", exec), metrics.Pct(remote))
+	}
+	t.AddNote("16 CPUs over 4 nodes; Algorithm 1 balances across all four")
+	r.Tables = append(r.Tables, t)
+	return r, nil
+}
+
+func init() {
+	register(&Experiment{
+		ID:    "ablate-affinity",
+		Title: "Affinity ablation",
+		Paper: "DESIGN.md extension: isolates the value of Eq. 1 inside Algorithm 1",
+		Run:   runAblateAffinity,
+	})
+	register(&Experiment{
+		ID:    "ablate-dynamic",
+		Title: "Dynamic bounds extension",
+		Paper: "Paper §VI future work: workload-adaptive classification bounds",
+		Run:   runAblateDynamic,
+	})
+	register(&Experiment{
+		ID:    "ablate-pagemig",
+		Title: "Page migration extension",
+		Paper: "Paper §VI future work: combine VCPU scheduling with page migration",
+		Run:   runAblatePageMigration,
+	})
+	register(&Experiment{
+		ID:    "fournode",
+		Title: "Four-node topology",
+		Paper: "DESIGN.md extension: N > 2 paths of Algorithms 1 and 2",
+		Run:   runFourNode,
+	})
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// WriteCSV emits the result's machine-readable series as CSV rows of the
+// form (series, label, value), sorted for stable diffs. This is the format
+// the plotting scripts of a typical artifact evaluation consume.
+func (r *Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"series", "label", "value"}); err != nil {
+		return err
+	}
+	for _, series := range sortedSeriesKeys(r.Series) {
+		labels := r.Series[series]
+		keys := make([]string, 0, len(labels))
+		for k := range labels {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, label := range keys {
+			err := cw.Write([]string{series, label, fmt.Sprintf("%g", labels[label])})
+			if err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJSON emits the result (id, title, series, and rendered tables) as
+// indented JSON.
+func (r *Result) WriteJSON(w io.Writer) error {
+	type table struct {
+		Title   string     `json:"title"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+		Notes   []string   `json:"notes,omitempty"`
+	}
+	out := struct {
+		ID     string                        `json:"id"`
+		Title  string                        `json:"title"`
+		Series map[string]map[string]float64 `json:"series"`
+		Tables []table                       `json:"tables"`
+	}{ID: r.ID, Title: r.Title, Series: r.Series}
+	for _, t := range r.Tables {
+		out.Tables = append(out.Tables, table{
+			Title: t.Title, Columns: t.Columns, Rows: t.Rows(), Notes: t.Notes,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// Export writes both CSV and JSON files for the result into dir, named by
+// the experiment id, and returns the paths written.
+func (r *Result) Export(dir string) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var paths []string
+	csvPath := filepath.Join(dir, r.ID+".csv")
+	f, err := os.Create(csvPath)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.WriteCSV(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Close(); err != nil {
+		return nil, err
+	}
+	paths = append(paths, csvPath)
+
+	jsonPath := filepath.Join(dir, r.ID+".json")
+	g, err := os.Create(jsonPath)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.WriteJSON(g); err != nil {
+		g.Close()
+		return nil, err
+	}
+	if err := g.Close(); err != nil {
+		return nil, err
+	}
+	return append(paths, jsonPath), nil
+}
+
+func sortedSeriesKeys(m map[string]map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"vprobe/internal/metrics"
+)
+
+func sampleResult() *Result {
+	r := &Result{ID: "sample", Title: "Sample"}
+	r.Set("exec/vprobe", "soplex", 0.694)
+	r.Set("exec/credit", "soplex", 1.0)
+	t := metrics.NewTable("T", "a", "b")
+	t.AddRow("x", "y")
+	t.AddNote("n")
+	r.Tables = append(r.Tables, t)
+	return r
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleResult().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[0] != "series,label,value" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if len(lines) != 3 {
+		t.Fatalf("rows = %d, want 3:\n%s", len(lines), out)
+	}
+	// Sorted: credit before vprobe.
+	if !strings.HasPrefix(lines[1], "exec/credit,soplex,1") {
+		t.Fatalf("first row = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "exec/vprobe,soplex,0.694") {
+		t.Fatalf("second row = %q", lines[2])
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleResult().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		ID     string                        `json:"id"`
+		Series map[string]map[string]float64 `json:"series"`
+		Tables []struct {
+			Title string     `json:"title"`
+			Rows  [][]string `json:"rows"`
+		} `json:"tables"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.ID != "sample" {
+		t.Fatalf("id = %q", decoded.ID)
+	}
+	if decoded.Series["exec/vprobe"]["soplex"] != 0.694 {
+		t.Fatalf("series = %v", decoded.Series)
+	}
+	if len(decoded.Tables) != 1 || decoded.Tables[0].Rows[0][0] != "x" {
+		t.Fatalf("tables = %+v", decoded.Tables)
+	}
+}
+
+func TestExportFiles(t *testing.T) {
+	dir := t.TempDir()
+	paths, err := sampleResult().Export(filepath.Join(dir, "results"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("paths = %v", paths)
+	}
+	for _, p := range paths {
+		info, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Size() == 0 {
+			t.Fatalf("%s is empty", p)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"fmt"
+
+	"vprobe/internal/mem"
+	"vprobe/internal/metrics"
+	"vprobe/internal/numa"
+	"vprobe/internal/sched"
+	"vprobe/internal/sim"
+	"vprobe/internal/workload"
+	"vprobe/internal/xen"
+)
+
+// scenario is the paper's standard three-VM setup (§V-A1):
+//
+//	VM1 — 15 GB split across both nodes, 8 VCPUs, the measured workload
+//	VM2 — 5 GB, 8 VCPUs, the interfering copy of the workload
+//	VM3 — 1 GB, 8 VCPUs, eight hungry loops consuming spare CPU
+type scenario struct {
+	H             *xen.Hypervisor
+	VM1, VM2, VM3 *xen.Domain
+}
+
+// policyFor builds a fresh policy instance for a run.
+func policyFor(kind sched.Kind) (xen.Policy, error) {
+	return sched.New(kind)
+}
+
+// newScenario builds the standard setup with apps1 in VM1 and apps2 in
+// VM2 (attached to the first VCPUs of each domain; remaining VCPUs are
+// guest-idle). Profiles are cloned and scaled by opts.Scale.
+func newScenario(kind sched.Kind, apps1, apps2 []*workload.Profile, opts Options) (*scenario, error) {
+	pol, err := policyFor(kind)
+	if err != nil {
+		return nil, err
+	}
+	cfg := xen.DefaultConfig()
+	cfg.Seed = opts.Seed
+	h := xen.New(numa.XeonE5620(), pol, cfg)
+
+	vm1, err := h.CreateDomain("VM1", 15*1024, 8, mem.PolicyStripe)
+	if err != nil {
+		return nil, err
+	}
+	vm2, err := h.CreateDomain("VM2", 5*1024, 8, mem.PolicyFill)
+	if err != nil {
+		return nil, err
+	}
+	vm3, err := h.CreateDomain("VM3", 1*1024, 8, mem.PolicyFill)
+	if err != nil {
+		return nil, err
+	}
+
+	attach := func(d *xen.Domain, apps []*workload.Profile) error {
+		if len(apps) > len(d.VCPUs) {
+			return fmt.Errorf("experiments: %d apps for %d VCPUs in %s",
+				len(apps), len(d.VCPUs), d.Name)
+		}
+		for i, app := range apps {
+			p := app.Clone()
+			if !p.Server && p.TotalInstructions < 1e17 {
+				p.TotalInstructions *= opts.Scale
+			} else if p.Server && p.TotalInstructions > 0 {
+				p.TotalInstructions *= opts.Scale
+			}
+			if _, err := h.AttachApp(d, i, p); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := attach(vm1, padGuestIdle(apps1, len(vm1.VCPUs))); err != nil {
+		return nil, err
+	}
+	if err := attach(vm2, padGuestIdle(apps2, len(vm2.VCPUs))); err != nil {
+		return nil, err
+	}
+	var hungry []*workload.Profile
+	for i := 0; i < 8; i++ {
+		hungry = append(hungry, workload.Hungry())
+	}
+	if err := attach(vm3, hungry); err != nil {
+		return nil, err
+	}
+	return &scenario{H: h, VM1: vm1, VM2: vm2, VM3: vm3}, nil
+}
+
+// runMeasured runs the scenario until VM1 finishes (batch workloads) or
+// the horizon (servers), returning VM1's per-app runs and the stop time.
+func (s *scenario) runMeasured(opts Options) ([]metrics.AppRun, sim.Time) {
+	s.H.WatchDomains(s.VM1)
+	end := s.H.Run(opts.Horizon)
+	return metrics.CollectDomain(s.VM1, end), end
+}
+
+// padGuestIdle appends guest-housekeeping profiles so the VM's remaining
+// VCPUs behave like real guest-idle VCPUs (periodic timer/daemon bursts)
+// instead of never existing. These bursts create the idle windows that
+// drive work stealing on real systems.
+func padGuestIdle(apps []*workload.Profile, vcpus int) []*workload.Profile {
+	out := append([]*workload.Profile(nil), apps...)
+	for len(out) < vcpus {
+		out = append(out, workload.GuestIdle())
+	}
+	return out
+}
+
+// replicate returns n clones of a profile.
+func replicate(p *workload.Profile, n int) []*workload.Profile {
+	out := make([]*workload.Profile, n)
+	for i := range out {
+		out[i] = p.Clone()
+	}
+	return out
+}
+
+// specWorkloads returns the Fig. 4 workload table: for each named
+// workload, the instance lists for VM1 and VM2. mcf's footprint forces the
+// paper's 6/2 split (§V-B1); mix runs one instance of each app.
+func specWorkloads() []struct {
+	Name         string
+	Apps1, Apps2 []*workload.Profile
+} {
+	return []struct {
+		Name         string
+		Apps1, Apps2 []*workload.Profile
+	}{
+		{"soplex", replicate(workload.Soplex(), 4), replicate(workload.Soplex(), 4)},
+		{"libquantum", replicate(workload.Libquantum(), 4), replicate(workload.Libquantum(), 4)},
+		{"mcf", replicate(workload.MCF(), 6), replicate(workload.MCF(), 2)},
+		{"milc", replicate(workload.Milc(), 4), replicate(workload.Milc(), 4)},
+		{"mix", mixApps(), mixApps()},
+	}
+}
+
+// mixApps is the Fig. 4 "mix" workload: one instance of each SPEC app.
+func mixApps() []*workload.Profile {
+	return []*workload.Profile{
+		workload.Soplex(), workload.Libquantum(), workload.MCF(), workload.Milc(),
+	}
+}
+
+// npbWorkloads returns the Fig. 5 table: each NPB app with four threads in
+// both VM1 and VM2.
+func npbWorkloads() []struct {
+	Name string
+	App  *workload.Profile
+} {
+	return []struct {
+		Name string
+		App  *workload.Profile
+	}{
+		{"bt", workload.BT()},
+		{"cg", workload.CG()},
+		{"lu", workload.LU()},
+		{"mg", workload.MG()},
+		{"sp", workload.SP()},
+	}
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+
+	"vprobe/internal/metrics"
+	"vprobe/internal/numa"
+	"vprobe/internal/sched"
+	"vprobe/internal/sim"
+	"vprobe/internal/xen"
+)
+
+// runBoundsSensitivity sweeps the classification bounds of Eq. 3 around
+// the paper's (3, 20) operating point on the mix workload. §IV-A notes
+// that moving either bound changes how many VCPUs land in LLC-T / LLC-FI
+// and thereby what the partitioner does; this experiment quantifies that.
+func runBoundsSensitivity(opts Options) (*Result, error) {
+	opts = opts.normalized()
+	r := &Result{ID: "sensitivity-bounds", Title: "Sensitivity: classification bounds (low, high)"}
+	t := metrics.NewTable(r.Title, "low", "high", "exec(s)", "remote")
+
+	type point struct{ low, high float64 }
+	points := []point{
+		{3, 20},  // paper operating point
+		{1, 20},  // aggressive: almost everything memory-intensive
+		{8, 20},  // conservative low bound
+		{3, 10},  // most VCPUs become LLC-T
+		{3, 30},  // almost nothing is LLC-T
+		{1, 100}, // one class: everything LLC-FI
+		{20, 25}, // only extreme thrashers partitioned
+	}
+	for _, pt := range points {
+		var execs, remotes []float64
+		for rep := 0; rep < opts.Repeats; rep++ {
+			pol := sched.NewVProbe()
+			pol.Analyzer.Bounds.Low = pt.low
+			pol.Analyzer.Bounds.High = pt.high
+			cfg := xen.DefaultConfig()
+			cfg.Seed = opts.Seed + uint64(rep)
+			h := xen.New(numa.XeonE5620(), pol, cfg)
+			sc, err := buildStandardVMs(h, mixApps(), mixApps(), opts)
+			if err != nil {
+				return nil, err
+			}
+			runs, _ := sc.runMeasured(opts)
+			execs = append(execs, metrics.AvgExecSeconds(runs))
+			remotes = append(remotes, metrics.AvgRemoteRatio(runs))
+		}
+		exec := sim.Mean(execs)
+		label := fmt.Sprintf("%g/%g", pt.low, pt.high)
+		r.Set("exec/vprobe", label, exec)
+		r.Set("remote/vprobe", label, sim.Mean(remotes))
+		t.AddRow(fmt.Sprintf("%g", pt.low), fmt.Sprintf("%g", pt.high),
+			fmt.Sprintf("%.2f", exec), metrics.Pct(sim.Mean(remotes)))
+	}
+	t.AddNote("paper operating point is (3, 20); §IV-A discusses the trade-off")
+	r.Tables = append(r.Tables, t)
+	return r, nil
+}
+
+func init() {
+	register(&Experiment{
+		ID:    "sensitivity-bounds",
+		Title: "Bound sensitivity sweep",
+		Paper: "§IV-A: changing low/high shifts VCPUs between classes and changes partitioning",
+		Run:   runBoundsSensitivity,
+	})
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"vprobe/internal/sim"
+)
+
+// TestAllExperimentsSmoke runs every registered experiment end-to-end at a
+// small scale, asserting each produces populated tables and series. This
+// is the cheap guarantee that `vprobe-sim` can always regenerate every
+// paper artifact.
+func TestAllExperimentsSmoke(t *testing.T) {
+	opts := Options{
+		Scale:   0.15,
+		Repeats: 1,
+		Seed:    1,
+		Horizon: 60 * sim.Second,
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			res, err := e.Run(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.ID != e.ID {
+				t.Fatalf("result id %q, want %q", res.ID, e.ID)
+			}
+			if len(res.Tables) == 0 {
+				t.Fatal("no tables produced")
+			}
+			for _, tab := range res.Tables {
+				if tab.NumRows() == 0 {
+					t.Fatalf("table %q empty", tab.Title)
+				}
+			}
+			if len(res.Series) == 0 {
+				t.Fatal("no machine-readable series produced")
+			}
+			if !strings.Contains(res.String(), e.ID) {
+				t.Fatal("String() missing experiment id")
+			}
+			// Exports must not fail on any experiment's data.
+			paths, err := res.Export(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(paths) != 2 {
+				t.Fatalf("exported %v", paths)
+			}
+		})
+	}
+}

@@ -1,0 +1,186 @@
+package mem
+
+import (
+	"fmt"
+
+	"vprobe/internal/numa"
+)
+
+// Policy selects how an allocation is spread across nodes.
+type Policy int
+
+const (
+	// PolicyFill packs the allocation onto the lowest-numbered node with
+	// free memory, spilling to the next node when full. This approximates
+	// Xen 4.0.1's non-NUMA-aware domain builder.
+	PolicyFill Policy = iota
+	// PolicyStripe spreads the allocation evenly across all nodes with
+	// capacity — the paper's "memory split into two nodes" setup for VM1.
+	PolicyStripe
+	// PolicyLocal places everything on a preferred node, spilling in
+	// fill order only when the preferred node is full.
+	PolicyLocal
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case PolicyFill:
+		return "fill"
+	case PolicyStripe:
+		return "stripe"
+	case PolicyLocal:
+		return "local"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Allocator tracks free machine memory per node and produces distribution
+// vectors for VM allocations.
+type Allocator struct {
+	top  *numa.Topology
+	free []int64 // MB per node
+}
+
+// NewAllocator returns an allocator covering the whole machine.
+func NewAllocator(top *numa.Topology) *Allocator {
+	a := &Allocator{top: top, free: make([]int64, top.NumNodes())}
+	for _, n := range top.Nodes() {
+		a.free[n.ID] = n.MemoryMB
+	}
+	return a
+}
+
+// FreeMB returns the free memory on node id.
+func (a *Allocator) FreeMB(id numa.NodeID) int64 { return a.free[id] }
+
+// TotalFreeMB returns machine-wide free memory.
+func (a *Allocator) TotalFreeMB() int64 {
+	var t int64
+	for _, f := range a.free {
+		t += f
+	}
+	return t
+}
+
+// Alloc reserves sizeMB according to the policy and returns the resulting
+// node distribution of the allocation. preferred is used by PolicyLocal and
+// ignored otherwise.
+func (a *Allocator) Alloc(sizeMB int64, policy Policy, preferred numa.NodeID) (Dist, error) {
+	if sizeMB <= 0 {
+		return nil, fmt.Errorf("mem: allocation of %d MB", sizeMB)
+	}
+	if sizeMB > a.TotalFreeMB() {
+		return nil, fmt.Errorf("mem: allocation of %d MB exceeds %d MB free", sizeMB, a.TotalFreeMB())
+	}
+	n := a.top.NumNodes()
+	got := make([]int64, n)
+	remaining := sizeMB
+
+	takeFrom := func(node int, want int64) {
+		if want <= 0 || a.free[node] <= 0 {
+			return
+		}
+		take := want
+		if take > a.free[node] {
+			take = a.free[node]
+		}
+		a.free[node] -= take
+		got[node] += take
+		remaining -= take
+	}
+
+	switch policy {
+	case PolicyFill:
+		for node := 0; node < n && remaining > 0; node++ {
+			takeFrom(node, remaining)
+		}
+	case PolicyStripe:
+		// Repeatedly spread the remainder evenly over nodes that still
+		// have room; two passes suffice for any capacity pattern but
+		// loop until settled for robustness.
+		for remaining > 0 {
+			withRoom := 0
+			for node := 0; node < n; node++ {
+				if a.free[node] > 0 {
+					withRoom++
+				}
+			}
+			if withRoom == 0 {
+				break
+			}
+			per := remaining / int64(withRoom)
+			if per == 0 {
+				per = 1
+			}
+			before := remaining
+			for node := 0; node < n && remaining > 0; node++ {
+				want := per
+				if want > remaining {
+					want = remaining
+				}
+				takeFrom(node, want)
+			}
+			if remaining == before {
+				break
+			}
+		}
+	case PolicyLocal:
+		if int(preferred) < 0 || int(preferred) >= n {
+			return nil, fmt.Errorf("mem: PolicyLocal with invalid node %d", preferred)
+		}
+		takeFrom(int(preferred), remaining)
+		for node := 0; node < n && remaining > 0; node++ {
+			takeFrom(node, remaining)
+		}
+	default:
+		return nil, fmt.Errorf("mem: unknown policy %v", policy)
+	}
+
+	if remaining > 0 {
+		// Roll back: capacity checked up front, so this is a bug guard.
+		for node := range got {
+			a.free[node] += got[node]
+		}
+		return nil, fmt.Errorf("mem: internal: %d MB unplaced", remaining)
+	}
+
+	d := make(Dist, n)
+	for node := range got {
+		d[node] = float64(got[node]) / float64(sizeMB)
+	}
+	return d, nil
+}
+
+// Release returns sizeMB distributed as d to the free pools.
+func (a *Allocator) Release(d Dist, sizeMB int64) {
+	for node := range d {
+		back := int64(d[node]*float64(sizeMB) + 0.5)
+		a.free[node] += back
+		if a.free[node] > a.top.Node(numa.NodeID(node)).MemoryMB {
+			a.free[node] = a.top.Node(numa.NodeID(node)).MemoryMB
+		}
+	}
+}
+
+// FirstTouch derives an application's page distribution from its VM's
+// machine-memory distribution and the node the owning VCPU ran on when the
+// application started. locality is the first-touch weight: 1 means pages
+// land entirely on the start node (subject to the VM actually having memory
+// there), 0 means pages follow the VM's layout.
+//
+// The guest OS's first-touch allocation can only use machine frames the VM
+// owns, so the concentrated component is masked by the VM distribution and
+// renormalised before blending.
+func FirstTouch(vmDist Dist, startNode numa.NodeID, locality float64) Dist {
+	concentrated := make(Dist, len(vmDist))
+	if vmDist.LocalFraction(startNode) > 0 {
+		concentrated[startNode] = 1
+	} else {
+		// VM has no memory on the start node: the guest allocates from
+		// wherever the VM has frames.
+		copy(concentrated, vmDist)
+	}
+	return Blend(concentrated, vmDist, locality)
+}

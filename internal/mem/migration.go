@@ -1,0 +1,55 @@
+package mem
+
+import (
+	"vprobe/internal/numa"
+	"vprobe/internal/sim"
+)
+
+// Migrator implements the paper's §VI "page migration" future-work
+// extension: lazily moving a fraction of an application's pages toward its
+// current execution node. Migration has a cost — each moved megabyte burns
+// CPU cycles and memory bandwidth — so the policy is rate-limited.
+type Migrator struct {
+	// RatePerSecond is the maximum fraction of an app's pages moved per
+	// second of residency on a non-home node.
+	RatePerSecond float64
+	// CostPerMBCycles is the CPU cost charged to the migrating VCPU per
+	// megabyte moved (page copy + remap, ~order 1e6 cycles/MB on the
+	// Table I machine).
+	CostPerMBCycles float64
+	// MinRemoteFraction: only migrate when the remote fraction from the
+	// current node exceeds this threshold (avoids churn near balance).
+	MinRemoteFraction float64
+}
+
+// DefaultMigrator returns the configuration used by the ablation bench.
+func DefaultMigrator() *Migrator {
+	return &Migrator{
+		RatePerSecond:     0.20,
+		CostPerMBCycles:   1.2e6,
+		MinRemoteFraction: 0.30,
+	}
+}
+
+// Step advances migration for one application by elapsed time: it shifts
+// pages toward node and returns the CPU cycles consumed doing so.
+// footprintMB scales the cost. A nil Migrator performs nothing.
+func (m *Migrator) Step(d Dist, node numa.NodeID, elapsed sim.Duration, footprintMB int64) (cycles float64) {
+	if m == nil || elapsed <= 0 {
+		return 0
+	}
+	if d.RemoteFraction(node) < m.MinRemoteFraction {
+		return 0
+	}
+	frac := m.RatePerSecond * elapsed.Seconds()
+	if frac <= 0 {
+		return 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	// Fraction of all pages that actually move.
+	moved := d.RemoteFraction(node) * frac
+	d.ShiftToward(node, frac)
+	return moved * float64(footprintMB) * m.CostPerMBCycles
+}

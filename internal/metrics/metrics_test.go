@@ -1,0 +1,177 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"vprobe/internal/mem"
+	"vprobe/internal/numa"
+	"vprobe/internal/sim"
+	"vprobe/internal/workload"
+	"vprobe/internal/xen"
+)
+
+// fakePolicy is a minimal policy for building domains in tests.
+type fakePolicy struct{}
+
+func (fakePolicy) Name() string                                      { return "fake" }
+func (fakePolicy) UsesPMU() bool                                     { return false }
+func (fakePolicy) NUMAAwareBalance() bool                            { return false }
+func (fakePolicy) PickNext(h *xen.Hypervisor, p *xen.PCPU) *xen.VCPU { return h.NextLocal(p) }
+func (fakePolicy) OnTick(*xen.Hypervisor, *xen.VCPU)                 {}
+func (fakePolicy) Period() sim.Duration                              { return 0 }
+func (fakePolicy) OnPeriod(*xen.Hypervisor)                          {}
+
+func buildDomain(t *testing.T) (*xen.Hypervisor, *xen.Domain) {
+	t.Helper()
+	h := xen.New(numa.XeonE5620(), fakePolicy{}, xen.DefaultConfig())
+	d, err := h.CreateDomain("vm", 4096, 4, mem.PolicyStripe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.AttachApp(d, 0, workload.Povray().Scale(0.01)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.AttachApp(d, 1, workload.Hungry()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.AttachApp(d, 2, workload.Memcached(32)); err != nil {
+		t.Fatal(err)
+	}
+	return h, d
+}
+
+func TestCollectDomainFilters(t *testing.T) {
+	h, d := buildDomain(t)
+	end := h.Run(2 * sim.Second)
+	runs := CollectDomain(d, end)
+	// povray (batch) and memcached (server) are measured; hungry is not.
+	if len(runs) != 2 {
+		t.Fatalf("collected %d runs, want 2: %+v", len(runs), runs)
+	}
+	byApp := map[string]AppRun{}
+	for _, r := range runs {
+		byApp[r.App] = r
+	}
+	if _, ok := byApp["hungry"]; ok {
+		t.Fatal("hungry loop was measured")
+	}
+	srv, ok := byApp["memcached-c32"]
+	if !ok {
+		t.Fatal("server missing from runs")
+	}
+	if srv.Requests <= 0 {
+		t.Fatal("server requests not counted")
+	}
+	if srv.ExecTime != sim.Duration(end) {
+		t.Fatalf("unfinished server ExecTime = %v, want horizon", srv.ExecTime)
+	}
+	pov := byApp["povray"]
+	if !pov.Finished {
+		t.Fatal("scaled povray did not finish in 2s")
+	}
+	if pov.ExecTime >= sim.Duration(end) {
+		t.Fatal("finished app should report completion time, not horizon")
+	}
+}
+
+func TestAggregations(t *testing.T) {
+	runs := []AppRun{
+		{App: "a", ExecTime: 2 * sim.Second, Total: 100, Remote: 30, Requests: 5},
+		{App: "b", ExecTime: 4 * sim.Second, Total: 300, Remote: 10, Requests: 15},
+	}
+	if got := AvgExecSeconds(runs); got != 3 {
+		t.Fatalf("AvgExecSeconds = %v", got)
+	}
+	if got := MaxExecSeconds(runs); got != 4 {
+		t.Fatalf("MaxExecSeconds = %v", got)
+	}
+	if got := SumTotal(runs); got != 400 {
+		t.Fatalf("SumTotal = %v", got)
+	}
+	if got := SumRemote(runs); got != 40 {
+		t.Fatalf("SumRemote = %v", got)
+	}
+	if got := SumRequests(runs); got != 20 {
+		t.Fatalf("SumRequests = %v", got)
+	}
+	if got := AvgRemoteRatio(runs); got != 0.1 {
+		t.Fatalf("AvgRemoteRatio = %v", got)
+	}
+}
+
+func TestEmptyAggregations(t *testing.T) {
+	if AvgExecSeconds(nil) != 0 || MaxExecSeconds(nil) != 0 ||
+		AvgRemoteRatio(nil) != 0 || AvgPageRemoteRatio(nil) != 0 {
+		t.Fatal("empty aggregations should be zero")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	out := Normalize(map[string]float64{"a": 10, "b": 5}, "a")
+	if out["a"] != 1 || out["b"] != 0.5 {
+		t.Fatalf("Normalize = %v", out)
+	}
+	zero := Normalize(map[string]float64{"a": 10}, "missing")
+	if zero["a"] != 0 {
+		t.Fatalf("missing baseline = %v", zero)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("Title", "col1", "column-two")
+	tab.AddRow("a", "1")
+	tab.AddRow("bbbb") // short row padded
+	tab.AddNote("note %d", 7)
+	s := tab.String()
+	for _, want := range []string{"Title", "col1", "column-two", "bbbb", "note: note 7", "----"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("table missing %q:\n%s", want, s)
+		}
+	}
+	if tab.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tab.NumRows())
+	}
+	if len(tab.Rows()[1]) != 2 {
+		t.Fatal("short row not padded to column count")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(1.23456) != "1.235" {
+		t.Fatalf("F = %q", F(1.23456))
+	}
+	if Pct(0.7741) != "77.41%" {
+		t.Fatalf("Pct = %q", Pct(0.7741))
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	keys := SortedKeys(map[string]int{"b": 1, "a": 2, "c": 3})
+	if keys[0] != "a" || keys[1] != "b" || keys[2] != "c" {
+		t.Fatalf("SortedKeys = %v", keys)
+	}
+}
+
+func TestPageRemoteConsistency(t *testing.T) {
+	h, d := buildDomain(t)
+	end := h.Run(2 * sim.Second)
+	for _, r := range CollectDomain(d, end) {
+		want := mem.RemotePageRatio(r.RemoteRatio, touchesFor(t, d, r))
+		if math.Abs(r.PageRemoteRatio-want) > 1e-9 {
+			t.Fatalf("%s: page remote %v, want %v", r.App, r.PageRemoteRatio, want)
+		}
+	}
+}
+
+func touchesFor(t *testing.T, d *xen.Domain, r AppRun) float64 {
+	t.Helper()
+	for _, v := range d.VCPUs {
+		if v.ID == r.VCPU {
+			return v.App.TouchesPerPage
+		}
+	}
+	t.Fatalf("VCPU %d not found", r.VCPU)
+	return 0
+}

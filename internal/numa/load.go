@@ -1,0 +1,105 @@
+package numa
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// FileConfig is the JSON schema for user-supplied topologies, mirroring
+// Config with lower-camel keys. Example:
+//
+//	{
+//	  "name": "my-box",
+//	  "nodes": 2,
+//	  "cpusPerNode": 8,
+//	  "memoryPerNodeMB": 65536,
+//	  "imcBandwidthGBs": 40,
+//	  "llcSizeKB": 32768,
+//	  "clockGHz": 3.0,
+//	  "localMemLatencyNS": 80,
+//	  "remoteMemLatencyNS": 140,
+//	  "llcHitLatencyNS": 14,
+//	  "linkBandwidthGTs": 9.6,
+//	  "linksPerPair": 1
+//	}
+type FileConfig struct {
+	Name               string  `json:"name"`
+	Nodes              int     `json:"nodes"`
+	CPUsPerNode        int     `json:"cpusPerNode"`
+	MemoryPerNodeMB    int64   `json:"memoryPerNodeMB"`
+	IMCBandwidthGBs    float64 `json:"imcBandwidthGBs"`
+	LLCSizeKB          int64   `json:"llcSizeKB"`
+	ClockGHz           float64 `json:"clockGHz"`
+	LocalMemLatencyNS  float64 `json:"localMemLatencyNS"`
+	RemoteMemLatencyNS float64 `json:"remoteMemLatencyNS"`
+	LLCHitLatencyNS    float64 `json:"llcHitLatencyNS"`
+	LinkBandwidthGTs   float64 `json:"linkBandwidthGTs"`
+	LinksPerPair       int     `json:"linksPerPair"`
+}
+
+// toConfig converts the JSON form to the builder's Config.
+func (fc FileConfig) toConfig() Config {
+	return Config{
+		Name:               fc.Name,
+		Nodes:              fc.Nodes,
+		CPUsPerNode:        fc.CPUsPerNode,
+		MemoryPerNodeMB:    fc.MemoryPerNodeMB,
+		IMCBandwidthGBs:    fc.IMCBandwidthGBs,
+		LLCSizeKB:          fc.LLCSizeKB,
+		ClockGHz:           fc.ClockGHz,
+		LocalMemLatencyNS:  fc.LocalMemLatencyNS,
+		RemoteMemLatencyNS: fc.RemoteMemLatencyNS,
+		LLCHitLatencyNS:    fc.LLCHitLatencyNS,
+		LinkBandwidthGTs:   fc.LinkBandwidthGTs,
+		LinksPerPair:       fc.LinksPerPair,
+	}
+}
+
+// Decode reads a topology configuration from JSON and builds it.
+func Decode(r io.Reader) (*Topology, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var fc FileConfig
+	if err := dec.Decode(&fc); err != nil {
+		return nil, fmt.Errorf("numa: decode topology: %w", err)
+	}
+	top, err := New(fc.toConfig())
+	if err != nil {
+		return nil, err
+	}
+	return top, nil
+}
+
+// LoadFile builds a topology from a JSON file.
+func LoadFile(path string) (*Topology, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Decode(f)
+}
+
+// Resolve returns a topology for a preset name or, when the name is not a
+// preset, treats it as a path to a JSON topology file. This is the lookup
+// the CLIs use.
+func Resolve(nameOrPath string) (*Topology, error) {
+	if mk, ok := Presets[nameOrPath]; ok {
+		return mk(), nil
+	}
+	if _, err := os.Stat(nameOrPath); err == nil {
+		return LoadFile(nameOrPath)
+	}
+	return nil, fmt.Errorf("numa: %q is neither a preset %v nor a readable file",
+		nameOrPath, presetNameList())
+}
+
+func presetNameList() []string {
+	names := make([]string, 0, len(Presets))
+	for n := range Presets {
+		names = append(names, n)
+	}
+	return names
+}

@@ -1,0 +1,90 @@
+package numa
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleJSON = `{
+  "name": "my-box",
+  "nodes": 2,
+  "cpusPerNode": 8,
+  "memoryPerNodeMB": 65536,
+  "imcBandwidthGBs": 40,
+  "llcSizeKB": 32768,
+  "clockGHz": 3.0,
+  "localMemLatencyNS": 80,
+  "remoteMemLatencyNS": 140,
+  "llcHitLatencyNS": 14,
+  "linkBandwidthGTs": 9.6,
+  "linksPerPair": 1
+}`
+
+func TestDecode(t *testing.T) {
+	top, err := Decode(strings.NewReader(sampleJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top.Name() != "my-box" || top.NumCPUs() != 16 || top.ClockGHz() != 3.0 {
+		t.Fatalf("decoded %s", top)
+	}
+	if top.MemLatencyNS(0, 1) != 140 {
+		t.Fatalf("remote latency = %v", top.MemLatencyNS(0, 1))
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := []string{
+		`{`,                 // truncated
+		`{"bogusField": 1}`, // unknown key
+		`{"nodes": 0}`,      // invalid config
+		`{"nodes": 2, "cpusPerNode": 4, "memoryPerNodeMB": 1024,
+		  "imcBandwidthGBs": 10, "llcSizeKB": 1024, "clockGHz": 2,
+		  "localMemLatencyNS": 100, "remoteMemLatencyNS": 50}`, // remote < local
+	}
+	for i, c := range cases {
+		if _, err := Decode(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestLoadFileAndResolve(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "box.json")
+	if err := os.WriteFile(path, []byte(sampleJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	top, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top.NumNodes() != 2 {
+		t.Fatalf("nodes = %d", top.NumNodes())
+	}
+	// Resolve: preset name wins.
+	preset, err := Resolve("xeon-e5620")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if preset.ClockGHz() != 2.40 {
+		t.Fatal("preset resolution broken")
+	}
+	// Resolve: falls back to a file path.
+	fromFile, err := Resolve(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromFile.Name() != "my-box" {
+		t.Fatal("file resolution broken")
+	}
+	// Resolve: neither.
+	if _, err := Resolve("no-such-thing"); err == nil {
+		t.Fatal("bogus name accepted")
+	}
+	if _, err := LoadFile(filepath.Join(dir, "absent.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

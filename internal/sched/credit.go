@@ -1,0 +1,54 @@
+// Package sched implements the five VCPU scheduling policies the paper
+// evaluates (§V-A2): the default Xen Credit scheduler, vProbe, the two
+// single-mechanism ablations VCPU-P and LB, and the BRM comparator of Rao
+// et al. (HPCA'13).
+//
+// Each policy plugs into internal/xen's Policy interface; the paper's
+// algorithms themselves live in internal/core.
+package sched
+
+import (
+	"vprobe/internal/sim"
+	"vprobe/internal/xen"
+)
+
+// Credit is the default Xen Credit scheduler: per-PCPU run queues with
+// UNDER/OVER priorities and NUMA-oblivious work stealing. It neither reads
+// the PMU nor repartitions anything.
+type Credit struct{}
+
+// NewCredit returns the baseline policy.
+func NewCredit() *Credit { return &Credit{} }
+
+// Name implements xen.Policy.
+func (*Credit) Name() string { return "Credit" }
+
+// UsesPMU implements xen.Policy.
+func (*Credit) UsesPMU() bool { return false }
+
+// NUMAAwareBalance implements xen.Policy: stock Credit re-picks placement
+// across the whole machine.
+func (*Credit) NUMAAwareBalance() bool { return false }
+
+// PickNext implements xen.Policy, mirroring csched_schedule: run the local
+// head if it is UNDER; otherwise try to steal an UNDER VCPU from a peer
+// (id-order scan, NUMA-oblivious); fall back to the local head, then to
+// stealing anything.
+func (*Credit) PickNext(h *xen.Hypervisor, p *xen.PCPU) *xen.VCPU {
+	if p.HeadIsRunnableUnder() {
+		return h.NextLocal(p)
+	}
+	if v := h.CreditSteal(p, p.PeekHead() == nil); v != nil {
+		return v
+	}
+	return h.NextLocal(p)
+}
+
+// OnTick implements xen.Policy (no PMU work).
+func (*Credit) OnTick(*xen.Hypervisor, *xen.VCPU) {}
+
+// Period implements xen.Policy (no sampling).
+func (*Credit) Period() sim.Duration { return 0 }
+
+// OnPeriod implements xen.Policy.
+func (*Credit) OnPeriod(*xen.Hypervisor) {}

@@ -1,0 +1,60 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"vprobe/internal/xen"
+)
+
+// Kind names a scheduling policy for CLI/experiment selection.
+type Kind string
+
+// The five policies of the paper's evaluation (§V-A2).
+const (
+	KindCredit Kind = "credit"
+	KindVProbe Kind = "vprobe"
+	KindVCPUP  Kind = "vcpu-p"
+	KindLB     Kind = "lb"
+	KindBRM    Kind = "brm"
+)
+
+// Kinds returns all registered kinds in a stable order.
+func Kinds() []Kind {
+	ks := []Kind{KindCredit, KindVProbe, KindVCPUP, KindLB, KindBRM}
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	return ks
+}
+
+// PaperOrder returns the kinds in the order the paper's figures list them.
+func PaperOrder() []Kind {
+	return []Kind{KindCredit, KindVProbe, KindVCPUP, KindLB, KindBRM}
+}
+
+// New constructs a fresh policy of the given kind. Policies are stateful
+// (analyzers, RNG use); never share one across simulations.
+func New(kind Kind) (xen.Policy, error) {
+	switch kind {
+	case KindCredit:
+		return NewCredit(), nil
+	case KindVProbe:
+		return NewVProbe(), nil
+	case KindVCPUP:
+		return NewVCPUP(), nil
+	case KindLB:
+		return NewLB(), nil
+	case KindBRM:
+		return NewBRM(), nil
+	default:
+		return nil, fmt.Errorf("sched: unknown policy kind %q (have %v)", kind, Kinds())
+	}
+}
+
+// MustNew is New for known-good kinds.
+func MustNew(kind Kind) xen.Policy {
+	p, err := New(kind)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,208 @@
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+)
+
+// Event is a scheduled callback. The callback runs at the event's firing
+// time with the engine passed in so it can schedule follow-up events.
+type Event struct {
+	at     Time
+	seq    uint64 // tie-breaker: FIFO among simultaneous events
+	index  int    // heap index, -1 when not queued
+	fire   func(e *Engine)
+	label  string
+	cancel bool
+}
+
+// At reports the virtual time the event fires at.
+func (ev *Event) At() Time { return ev.at }
+
+// Label reports the human-readable label given at scheduling time.
+func (ev *Event) Label() string { return ev.label }
+
+// Cancel marks the event so it will be skipped when it reaches the head of
+// the queue. Cancelling an already-fired event is a no-op.
+func (ev *Event) Cancel() { ev.cancel = true }
+
+// Cancelled reports whether Cancel was called on the event.
+func (ev *Event) Cancelled() bool { return ev.cancel }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a single-threaded discrete-event simulator.
+//
+// The zero value is not usable; construct with NewEngine.
+type Engine struct {
+	now     Time
+	queue   eventHeap
+	seq     uint64
+	fired   uint64
+	stopped bool
+	horizon Time // 0 means unbounded
+}
+
+// NewEngine returns an engine with the clock at zero and an empty queue.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending returns the number of events waiting in the queue, including
+// cancelled events that have not yet been discarded.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Fired returns the number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// ErrPastEvent is returned by ScheduleAt when the requested time precedes
+// the current clock.
+var ErrPastEvent = errors.New("sim: event scheduled in the past")
+
+// ScheduleAt queues fn to run at absolute time at. It panics if at is in
+// the past: scheduling into the past is always a programming error in a
+// discrete-event model and silently clamping would hide causality bugs.
+func (e *Engine) ScheduleAt(at Time, label string, fn func(*Engine)) *Event {
+	if at < e.now {
+		panic(fmt.Errorf("%w: now=%v at=%v label=%q", ErrPastEvent, e.now, at, label))
+	}
+	ev := &Event{at: at, seq: e.seq, fire: fn, label: label}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// Schedule queues fn to run after delay d (d < 0 is clamped to 0).
+func (e *Engine) Schedule(d Duration, label string, fn func(*Engine)) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.ScheduleAt(e.now.Add(d), label, fn)
+}
+
+// Every schedules fn to run now+first and then every period thereafter,
+// until the returned ticker is stopped or the engine halts. period must be
+// positive.
+func (e *Engine) Every(first, period Duration, label string, fn func(*Engine)) *Ticker {
+	if period <= 0 {
+		panic(fmt.Sprintf("sim: non-positive ticker period %v (label %q)", period, label))
+	}
+	t := &Ticker{engine: e, period: period, label: label, fn: fn}
+	t.arm(first)
+	return t
+}
+
+// Ticker repeatedly fires a callback at a fixed period.
+type Ticker struct {
+	engine  *Engine
+	period  Duration
+	label   string
+	fn      func(*Engine)
+	next    *Event
+	stopped bool
+}
+
+func (t *Ticker) arm(d Duration) {
+	t.next = t.engine.Schedule(d, t.label, func(e *Engine) {
+		if t.stopped {
+			return
+		}
+		t.fn(e)
+		if !t.stopped {
+			t.arm(t.period)
+		}
+	})
+}
+
+// Stop prevents all future firings of the ticker.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	if t.next != nil {
+		t.next.Cancel()
+	}
+}
+
+// Period returns the ticker period.
+func (t *Ticker) Period() Duration { return t.period }
+
+// Stop halts the run loop after the currently-firing event returns.
+func (e *Engine) Stop() { e.stopped = true }
+
+// SetHorizon makes Run stop once the clock would pass t. A zero horizon
+// means no limit.
+func (e *Engine) SetHorizon(t Time) { e.horizon = t }
+
+// Run executes events in time order until the queue is empty, Stop is
+// called, or the horizon is reached. It returns the number of events fired
+// during this call.
+func (e *Engine) Run() uint64 {
+	start := e.fired
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		ev := e.queue[0]
+		if e.horizon > 0 && ev.at > e.horizon {
+			e.now = e.horizon
+			break
+		}
+		heap.Pop(&e.queue)
+		if ev.cancel {
+			continue
+		}
+		if ev.at < e.now {
+			panic(fmt.Sprintf("sim: time went backwards: now=%v event=%v", e.now, ev.at))
+		}
+		e.now = ev.at
+		e.fired++
+		ev.fire(e)
+	}
+	return e.fired - start
+}
+
+// RunUntil executes events with the clock bounded by t. If the event
+// supply ran dry before t (without an explicit Stop), the clock advances to
+// exactly t; after a Stop the clock stays where the stop happened.
+func (e *Engine) RunUntil(t Time) uint64 {
+	prev := e.horizon
+	e.SetHorizon(t)
+	n := e.Run()
+	if e.now < t && !e.stopped {
+		e.now = t
+	}
+	e.horizon = prev
+	return n
+}

@@ -1,0 +1,95 @@
+package xen
+
+import "vprobe/internal/sim"
+
+// Config holds the hypervisor's timing and cost constants. Sub-microsecond
+// costs are expressed as float64 microseconds and charged in cycles.
+type Config struct {
+	// Timeslice is the Credit scheduler's scheduling quantum (30 ms).
+	Timeslice sim.Duration
+	// TickPeriod is the credit-debit tick (10 ms); PMU-based policies
+	// also refresh counters on this tick (§IV-B: "every 10ms after this
+	// VCPU burns its credits").
+	TickPeriod sim.Duration
+	// AccountPeriod is the credit replenishment period (30 ms).
+	AccountPeriod sim.Duration
+	// CreditsPerTick is debited from a running VCPU each tick (Xen: 100).
+	CreditsPerTick int
+	// CreditCap bounds a VCPU's credit balance.
+	CreditCap int
+	// ContextSwitchMicros is the base cost of switching VCPUs on a PCPU.
+	ContextSwitchMicros float64
+	// PMUUpdateMicros is the Perfctr-Xen counter save/restore/read cost,
+	// charged per update by policies that use the PMU. Calibrated so
+	// Table III's "overhead time" lands near the paper's ~0.01%.
+	PMUUpdateMicros float64
+	// PartitionFixedMicros and PartitionPerVCPUMicros are the periodical
+	// partitioning pass costs (the other Table III source).
+	PartitionFixedMicros   float64
+	PartitionPerVCPUMicros float64
+	// CacheHotMicros protects recently-run VCPUs from being stolen
+	// (__csched_vcpu_is_cache_hot): a VCPU enqueued less than this long
+	// ago is skipped by work stealing.
+	CacheHotMicros float64
+	// RepickProb is the per-accounting-period probability that a running
+	// VCPU re-evaluates its placement (csched_vcpu_acct's migration is
+	// sticky in practice; this rate-limits the mixing).
+	RepickProb float64
+	// QueuedLLCWeight is how much a queued (not currently running) VCPU
+	// on a socket still competes for that socket's LLC. Cache residency
+	// outlives a context switch, so time-shared VCPUs contend with
+	// weight < 1 rather than 0 — this is what makes an unbalanced
+	// distribution of cache-hungry VCPUs expensive.
+	QueuedLLCWeight float64
+	// FirstTouchLocality is the fraction of an app's pages that land on
+	// the node where it predominantly runs during its first-touch window
+	// (guest first-touch behaviour).
+	FirstTouchLocality float64
+	// FirstTouchDelay is how long after start an app keeps allocating:
+	// until then its accesses follow the VM-wide layout, after which its
+	// pages concentrate on the node where it ran most.
+	FirstTouchDelay sim.Duration
+	// GuestThreadMigrationMean is the mean interval between guest-OS
+	// thread re-placements inside each VM (a busy thread parks on a
+	// formerly idle VCPU). The hypervisor cannot see these events — it
+	// only notices the per-VCPU characteristics change, which is why
+	// periodic re-sampling matters. Zero disables.
+	GuestThreadMigrationMean sim.Duration
+	// BatchMigrationFraction is the fraction of guest re-placement
+	// events that move a CPU-bound batch thread (the guest scheduler
+	// mostly moves blocking server threads; batch threads move rarely).
+	BatchMigrationFraction float64
+	// PMUNoiseFactor is the relative standard deviation of a pressure
+	// measurement over a 1e9-instruction window; shorter windows are
+	// noisier (counter multiplexing, interrupt skew), scaling as
+	// 1/sqrt(instructions). This is what makes very short sampling
+	// periods produce unstable classifications.
+	PMUNoiseFactor float64
+	// Seed drives all stochastic choices (e.g. BRM's randomness).
+	Seed uint64
+}
+
+// DefaultConfig returns the Xen 4.0.1 Credit constants plus calibrated
+// overhead costs.
+func DefaultConfig() Config {
+	return Config{
+		Timeslice:                30 * sim.Millisecond,
+		TickPeriod:               10 * sim.Millisecond,
+		AccountPeriod:            30 * sim.Millisecond,
+		CreditsPerTick:           100,
+		CreditCap:                300,
+		ContextSwitchMicros:      3,
+		PMUUpdateMicros:          0.85,
+		PartitionFixedMicros:     20,
+		PartitionPerVCPUMicros:   2,
+		CacheHotMicros:           15000,
+		RepickProb:               0.12,
+		QueuedLLCWeight:          0.5,
+		FirstTouchLocality:       0.85,
+		FirstTouchDelay:          1500 * sim.Millisecond,
+		GuestThreadMigrationMean: 6 * sim.Second,
+		BatchMigrationFraction:   0.4,
+		PMUNoiseFactor:           0.035,
+		Seed:                     1,
+	}
+}

@@ -1,0 +1,748 @@
+package xen
+
+import (
+	"fmt"
+
+	"vprobe/internal/mem"
+	"vprobe/internal/numa"
+	"vprobe/internal/perf"
+	"vprobe/internal/pmu"
+	"vprobe/internal/sim"
+	"vprobe/internal/workload"
+)
+
+// Hypervisor ties the machine model, the performance model, the domains,
+// and a scheduling policy into one simulation.
+type Hypervisor struct {
+	Engine *sim.Engine
+	Top    *numa.Topology
+	Perf   *perf.System
+	Alloc  *mem.Allocator
+	RNG    *sim.RNG
+	Config Config
+
+	Policy  Policy
+	PCPUs   []*PCPU
+	Domains []*Domain
+
+	vcpus    []*VCPU
+	vcpuByID map[VCPUID]*VCPU
+	nextVCPU VCPUID
+	nextDom  DomID
+
+	// Migrator, when non-nil, enables the §VI page-migration extension.
+	Migrator *mem.Migrator
+
+	// SampleOverhead accumulates the paper's "overhead time": PMU data
+	// collection plus periodical partitioning (Table III).
+	SampleOverhead sim.Duration
+
+	watch   []*Domain
+	started bool
+
+	// TraceFn, when set, receives scheduling trace lines.
+	TraceFn func(t sim.Time, format string, args ...any)
+
+	placeCursor int
+}
+
+// New builds a hypervisor on the given topology with a scheduling policy.
+func New(top *numa.Topology, policy Policy, cfg Config) *Hypervisor {
+	h := &Hypervisor{
+		Engine:   sim.NewEngine(),
+		Top:      top,
+		Perf:     perf.NewSystem(top),
+		Alloc:    mem.NewAllocator(top),
+		RNG:      sim.NewRNG(cfg.Seed),
+		Config:   cfg,
+		Policy:   policy,
+		vcpuByID: make(map[VCPUID]*VCPU),
+	}
+	for cpu := 0; cpu < top.NumCPUs(); cpu++ {
+		h.PCPUs = append(h.PCPUs, &PCPU{
+			ID:   numa.CPUID(cpu),
+			Node: top.NodeOf(numa.CPUID(cpu)),
+		})
+	}
+	return h
+}
+
+func (h *Hypervisor) trace(format string, args ...any) {
+	if h.TraceFn != nil {
+		h.TraceFn(h.Engine.Now(), format, args...)
+	}
+}
+
+// CreateDomain builds a VM with the given memory size (allocated with the
+// given placement policy) and VCPU count. VCPUs start without apps
+// (guest-idle, permanently blocked) until AttachApp.
+func (h *Hypervisor) CreateDomain(name string, memMB int64, vcpus int, pol mem.Policy) (*Domain, error) {
+	if h.started {
+		return nil, fmt.Errorf("xen: CreateDomain after Start")
+	}
+	if vcpus <= 0 {
+		return nil, fmt.Errorf("xen: domain %q with %d VCPUs", name, vcpus)
+	}
+	dist, err := h.Alloc.Alloc(memMB, pol, 0)
+	if err != nil {
+		return nil, fmt.Errorf("xen: domain %q: %w", name, err)
+	}
+	d := &Domain{ID: h.nextDom, Name: name, MemoryMB: memMB, MemDist: dist}
+	h.nextDom++
+	for i := 0; i < vcpus; i++ {
+		v := &VCPU{
+			ID:           h.nextVCPU,
+			Dom:          d,
+			Counters:     pmu.NewCounters(h.Top.NumNodes()),
+			Sampler:      pmu.NewSampler(h.Top.NumNodes()),
+			OnPCPU:       -1,
+			PinnedPCPU:   -1,
+			Priority:     PrioUnder,
+			LastSocket:   numa.NoNode,
+			NodeAffinity: numa.NoNode,
+			AssignedNode: numa.NoNode,
+			pendingNode:  numa.NoNode,
+		}
+		h.nextVCPU++
+		d.VCPUs = append(d.VCPUs, v)
+		h.vcpus = append(h.vcpus, v)
+		h.vcpuByID[v.ID] = v
+	}
+	h.Domains = append(h.Domains, d)
+	return d, nil
+}
+
+// AttachApp binds an application profile to the domain's idx-th VCPU
+// (guest-level thread pinning, one app instance per VCPU).
+func (h *Hypervisor) AttachApp(d *Domain, idx int, app *workload.Profile) (*VCPU, error) {
+	if idx < 0 || idx >= len(d.VCPUs) {
+		return nil, fmt.Errorf("xen: domain %q has no VCPU %d", d.Name, idx)
+	}
+	if err := app.Validate(); err != nil {
+		return nil, err
+	}
+	v := d.VCPUs[idx]
+	if v.App != nil {
+		return nil, fmt.Errorf("xen: VCPU %d already has app %q", v.ID, v.App.Name)
+	}
+	v.App = app
+	return v, nil
+}
+
+// Pin hard-pins a VCPU to a PCPU (Fig. 3 calibration setup).
+func (h *Hypervisor) Pin(v *VCPU, cpu numa.CPUID) error {
+	if int(cpu) < 0 || int(cpu) >= len(h.PCPUs) {
+		return fmt.Errorf("xen: pin to invalid PCPU %d", cpu)
+	}
+	v.PinnedPCPU = cpu
+	return nil
+}
+
+// WatchDomains makes the simulation stop once every listed domain has
+// finished all attached apps.
+func (h *Hypervisor) WatchDomains(ds ...*Domain) { h.watch = ds }
+
+// AllVCPUs returns every VCPU in creation order.
+func (h *Hypervisor) AllVCPUs() []*VCPU { return h.vcpus }
+
+// VCPUByID looks up a VCPU.
+func (h *Hypervisor) VCPUByID(id VCPUID) *VCPU { return h.vcpuByID[id] }
+
+// ActiveVCPUs counts runnable or running VCPUs.
+func (h *Hypervisor) ActiveVCPUs() int {
+	n := 0
+	for _, v := range h.vcpus {
+		if v.State == StateRunnable || v.State == StateRunning {
+			n++
+		}
+	}
+	return n
+}
+
+// Start performs initial placement and arms the tickers. It must be called
+// exactly once before Run.
+func (h *Hypervisor) Start() error {
+	if h.started {
+		return fmt.Errorf("xen: Start called twice")
+	}
+	h.started = true
+
+	// Initial placement: each domain's app-carrying VCPUs land on a
+	// seeded random permutation of the PCPUs — a freshly booted guest's
+	// thread layout has no node balance guarantee, which is what leaves
+	// unbalanced LLC pressure for the partitioning mechanism to repair.
+	//
+	// Page placement is deferred: an app allocates during its first-touch
+	// window, accessing the VM-wide layout meanwhile; its pages then
+	// concentrate on the node where it actually ran (see finishFirstTouch).
+	for _, d := range h.Domains {
+		perm := h.RNG.Perm(len(h.PCPUs))
+		slot := 0
+		for _, v := range d.VCPUs {
+			if v.App == nil {
+				continue
+			}
+			var p *PCPU
+			if v.PinnedPCPU >= 0 {
+				p = h.PCPUs[v.PinnedPCPU]
+			} else {
+				p = h.PCPUs[perm[slot%len(perm)]]
+				slot++
+			}
+			v.StartNode = p.Node
+			v.PageDist = d.MemDist.Clone()
+			v.nodeTime = make([]sim.Duration, h.Top.NumNodes())
+			v.State = StateRunnable
+			p.Enqueue(v)
+			vv := v
+			h.Engine.Schedule(h.Config.FirstTouchDelay, "first-touch", func(*sim.Engine) {
+				h.finishFirstTouch(vv)
+			})
+		}
+	}
+
+	// Credit tick: debit running VCPUs, fire policy tick hook.
+	h.Engine.Every(h.Config.TickPeriod, h.Config.TickPeriod, "tick", func(*sim.Engine) {
+		for _, p := range h.PCPUs {
+			if p.Current == nil {
+				continue
+			}
+			p.Current.Credits -= h.Config.CreditsPerTick
+			if p.Current.Credits < -h.Config.CreditCap {
+				p.Current.Credits = -h.Config.CreditCap
+			}
+			if p.Current.Credits < 0 {
+				p.Current.Priority = PrioOver
+			}
+			h.Policy.OnTick(h, p.Current)
+		}
+	})
+
+	// Credit accounting + contention epoch.
+	h.Engine.Every(h.Config.AccountPeriod, h.Config.AccountPeriod, "account", func(e *sim.Engine) {
+		h.accountCredits()
+		h.Perf.EndEpoch(e.Now())
+	})
+
+	// Sampling period for PMU-driven policies.
+	if period := h.Policy.Period(); period > 0 {
+		h.Engine.Every(period, period, "period", func(*sim.Engine) {
+			h.Policy.OnPeriod(h)
+		})
+	}
+
+	// Guest-OS thread re-placement: inside each VM, threads occasionally
+	// park on different VCPUs. Invisible to the hypervisor except through
+	// the PMU signature changing under it.
+	if h.Config.GuestThreadMigrationMean > 0 {
+		for _, d := range h.Domains {
+			d := d
+			var arm func(*sim.Engine)
+			arm = func(*sim.Engine) {
+				h.swapGuestThreads(d)
+				wait := sim.Duration(h.RNG.Exp(float64(h.Config.GuestThreadMigrationMean)))
+				if wait < sim.Millisecond {
+					wait = sim.Millisecond
+				}
+				h.Engine.Schedule(wait, "guest-migrate", arm)
+			}
+			wait := sim.Duration(h.RNG.Exp(float64(h.Config.GuestThreadMigrationMean)))
+			h.Engine.Schedule(wait, "guest-migrate", arm)
+		}
+	}
+
+	// First dispatch on every PCPU.
+	for _, p := range h.PCPUs {
+		p := p
+		h.Engine.Schedule(0, "boot", func(*sim.Engine) { h.schedule(p) })
+	}
+	return nil
+}
+
+func (h *Hypervisor) accountCredits() {
+	active := h.ActiveVCPUs()
+	if active == 0 {
+		return
+	}
+	// Total credits minted per accounting period: CreditsPerTick per
+	// tick per PCPU, shared equally among active VCPUs (all domains
+	// have equal weight in the paper's experiments).
+	ticks := int(h.Config.AccountPeriod / h.Config.TickPeriod)
+	total := ticks * h.Config.CreditsPerTick * len(h.PCPUs)
+	share := total / active
+	for _, v := range h.vcpus {
+		if v.State != StateRunnable && v.State != StateRunning {
+			continue
+		}
+		v.Credits += share
+		if v.Credits > h.Config.CreditCap {
+			v.Credits = h.Config.CreditCap
+		}
+		if v.State != StateRunning && v.Priority != PrioBoost {
+			v.Priority = priorityFromCredits(v)
+		}
+	}
+	h.repickRunning()
+}
+
+// repickRunning models csched_vcpu_acct's periodic _csched_cpu_pick: at
+// every accounting period, each running VCPU re-evaluates its placement
+// and migrates (at quantum end) toward the least-loaded PCPU if that is
+// distinctly better. In stock Credit the candidate set spans the whole
+// machine — NUMA-obliviously bouncing memory-intensive VCPUs across
+// sockets; NUMA-aware policies (vProbe, LB) restrict it to the local node
+// so only partitioning or explicit remote stealing crosses sockets.
+func (h *Hypervisor) repickRunning() {
+	aware := h.Policy.NUMAAwareBalance()
+	for _, p := range h.PCPUs {
+		v := p.Current
+		if v == nil || v.PinnedPCPU >= 0 || v.pendingNode != numa.NoNode {
+			continue
+		}
+		if h.RNG.Float64() >= h.Config.RepickProb {
+			continue
+		}
+		var best *PCPU
+		candidates := h.PCPUs
+		if aware {
+			candidates = nil
+			for _, cpu := range h.Top.CPUsOf(p.Node) {
+				candidates = append(candidates, h.PCPUs[cpu])
+			}
+		}
+		for _, q := range candidates {
+			if q == p {
+				continue
+			}
+			if best == nil || q.Workload < best.Workload {
+				best = q
+			}
+		}
+		if best != nil && best.Workload+1 < p.Workload {
+			v.pendingNode = best.Node
+		}
+	}
+}
+
+// schedule dispatches the next VCPU on p if p is idle.
+func (h *Hypervisor) schedule(p *PCPU) {
+	if p.Current != nil {
+		return
+	}
+	v := h.Policy.PickNext(h, p)
+	if v == nil {
+		if !p.idle {
+			p.idle = true
+			p.IdleSince = h.Engine.Now()
+		}
+		return
+	}
+	if p.idle {
+		p.IdleTime += h.Engine.Now().Sub(p.IdleSince)
+		p.idle = false
+	}
+	h.dispatch(p, v)
+}
+
+func (h *Hypervisor) dispatch(p *PCPU, v *VCPU) {
+	cpm := h.Top.CyclesPerMicrosecond()
+	if p.lastVCPU != v {
+		v.Switches++
+		cost := h.Config.ContextSwitchMicros
+		if h.Policy.UsesPMU() {
+			// Perfctr-Xen counter save/restore around the switch.
+			cost += h.Config.PMUUpdateMicros
+			h.SampleOverhead += sim.Duration(h.Config.PMUUpdateMicros)
+		}
+		v.AddOverhead(cost*cpm, cpm)
+	}
+	if v.OnPCPU != p.ID && v.OnPCPU >= 0 {
+		v.Migrations++
+	}
+	if v.LastSocket != p.Node {
+		if v.LastSocket != numa.NoNode {
+			// Cross-socket move: the hot set must be refetched.
+			if ph := v.Phase(); ph != nil {
+				v.ColdLines = h.Perf.ColdLinesFor(ph)
+			}
+			v.NodeMoves++
+		}
+		v.LastSocket = p.Node
+	}
+
+	v.State = StateRunning
+	v.OnPCPU = p.ID
+	p.Current = v
+	if v.Priority == PrioBoost {
+		v.Priority = priorityFromCredits(v)
+	}
+
+	req := perf.Request{
+		Profile:         v.App,
+		InstrDone:       v.InstrDone,
+		Quantum:         h.Config.Timeslice,
+		RunNode:         p.Node,
+		PageDist:        v.PageDist,
+		CoRunnerRPTI:    h.coRunnerRPTI(p, v),
+		ColdLines:       v.ColdLines,
+		OverheadCycles:  v.pendingOverhead,
+		MaxInstructions: v.RemainingInstructions(),
+	}
+	if v.App.Endless() {
+		req.MaxInstructions = 0
+	}
+	if v.App.BurstMicros > 0 {
+		if b := sim.Duration(v.App.BurstMicros); b < req.Quantum {
+			req.Quantum = b
+		}
+	}
+	v.pendingOverhead = 0
+
+	// Optional page migration extension: pages drift toward the node the
+	// VCPU runs on, at a CPU cost charged to this quantum.
+	if h.Migrator != nil {
+		cycles := h.Migrator.Step(v.PageDist, p.Node, h.Config.Timeslice, v.App.FootprintMB)
+		req.OverheadCycles += cycles
+	}
+
+	out := h.Perf.Execute(req)
+	if out.Used <= 0 {
+		out.Used = sim.Microsecond
+	}
+	h.trace("pcpu%d run vcpu%d (%s) %.1fms", p.ID, v.ID, v.App.Name, out.Used.Millis())
+	f := &flight{v: v, out: out, origCold: v.ColdLines, start: h.Engine.Now()}
+	f.ev = h.Engine.Schedule(out.Used, "quantum", func(*sim.Engine) {
+		h.endQuantum(p)
+	})
+	p.flight = f
+}
+
+// flight is one in-progress quantum.
+type flight struct {
+	v        *VCPU
+	out      perf.Outcome
+	origCold float64
+	start    sim.Time
+	ev       *sim.Event
+}
+
+// priorityFromCredits maps a credit balance to UNDER/OVER.
+func priorityFromCredits(v *VCPU) Priority {
+	if v.Credits >= 0 {
+		return PrioUnder
+	}
+	return PrioOver
+}
+
+// preempt truncates the quantum in flight on p (a BOOST wakeup arrived).
+// The partial work is accounted proportionally and the displaced VCPU is
+// requeued; p then reschedules, picking up the BOOST VCPU.
+func (h *Hypervisor) preempt(p *PCPU) {
+	if p.flight == nil {
+		return
+	}
+	p.flight.ev.Cancel()
+	h.endQuantum(p)
+}
+
+// coRunnerRPTI sums the reference intensity competing with v for p's
+// socket LLC during this quantum: other VCPUs currently executing on the
+// socket at full weight, plus VCPUs queued on the socket's PCPUs at
+// QueuedLLCWeight — their cache residency persists across the time-slicing
+// even while they wait.
+func (h *Hypervisor) coRunnerRPTI(p *PCPU, v *VCPU) float64 {
+	var sum float64
+	for _, cpu := range h.Top.CPUsOf(p.Node) {
+		q := h.PCPUs[cpu]
+		if q != p && q.Current != nil && q.Current != v {
+			if ph := q.Current.Phase(); ph != nil {
+				sum += ph.RPTI
+			}
+		}
+		for _, w := range q.Queue() {
+			if w == v {
+				continue
+			}
+			if ph := w.Phase(); ph != nil {
+				sum += h.Config.QueuedLLCWeight * ph.RPTI
+			}
+		}
+	}
+	return sum
+}
+
+func (h *Hypervisor) endQuantum(p *PCPU) {
+	f := p.flight
+	if f == nil || p.Current != f.v {
+		return
+	}
+	p.flight = nil
+	v := f.v
+	out := f.out
+	preempted := false
+	if elapsed := h.Engine.Now().Sub(f.start); elapsed < out.Used {
+		// Preempted mid-quantum: account the completed fraction.
+		preempted = true
+		frac := float64(elapsed) / float64(out.Used)
+		out.Instructions *= frac
+		out.Cycles *= frac
+		out.LLCRef *= frac
+		out.LLCMiss *= frac
+		out.Remote *= frac
+		for i := range out.Node {
+			out.Node[i] *= frac
+		}
+		out.ColdLines = f.origCold + (out.ColdLines-f.origCold)*frac
+		out.Used = elapsed
+	}
+	v.Counters.Add(pmu.Delta{
+		Instructions: out.Instructions,
+		Cycles:       out.Cycles,
+		LLCRef:       out.LLCRef,
+		LLCMiss:      out.LLCMiss,
+		Node:         out.Node,
+		Remote:       out.Remote,
+	})
+	h.Perf.Record(out, p.Node)
+	v.InstrDone += out.Instructions
+	v.ColdLines = out.ColdLines
+	v.RunTime += out.Used
+	if !v.firstTouched && v.nodeTime != nil {
+		v.nodeTime[p.Node] += out.Used
+	}
+	if v.firstTouched && v.App.PageDriftPerSecond > 0 {
+		v.PageDist.ShiftToward(p.Node, v.App.PageDriftPerSecond*out.Used.Seconds())
+	}
+	p.BusyTime += out.Used
+	p.Current = nil
+	p.lastVCPU = v
+
+	finished := !v.App.Endless() && v.RemainingInstructions() <= 0.5
+	switch {
+	case finished:
+		v.Done = true
+		v.FinishTime = h.Engine.Now()
+		v.State = StateBlocked
+		v.OnPCPU = -1
+		h.trace("vcpu%d (%s) finished", v.ID, v.App.Name)
+		h.checkWatch()
+	case !preempted && v.App.BlockProb > 0 && h.RNG.Float64() < v.App.BlockProb:
+		// The guest blocks (timer, I/O, barrier, network wait). The
+		// VCPU leaves the run queues; its wakeup re-enqueues it where
+		// it last ran, and idle PCPUs may steal it from there — the
+		// churn that makes load-balance policy matter.
+		v.State = StateBlocked
+		wait := sim.Duration(h.RNG.Exp(v.App.BlockMicrosMean))
+		if wait < sim.Microsecond {
+			wait = sim.Microsecond
+		}
+		h.trace("vcpu%d (%s) blocks %v", v.ID, v.App.Name, wait)
+		h.Engine.Schedule(wait, "wake", func(*sim.Engine) { h.wake(v, p) })
+	default:
+		target := p
+		switch {
+		case v.PinnedPCPU >= 0:
+			target = h.PCPUs[v.PinnedPCPU]
+		case v.pendingNode != numa.NoNode:
+			target = h.leastLoadedPCPU(v.pendingNode)
+			v.pendingNode = numa.NoNode
+		}
+		v.Priority = priorityFromCredits(v)
+		h.enqueue(target, v)
+		if target != p {
+			h.kickIdle()
+		}
+	}
+	h.schedule(p)
+}
+
+// wake re-enqueues a blocked VCPU on the PCPU it last ran on (pinned
+// VCPUs on their pin; a pending partition assignment is honoured) with
+// Xen's BOOST priority: it preempts a lower-priority runner on the target
+// PCPU immediately, which keeps short housekeeping bursts from languishing
+// in queues.
+func (h *Hypervisor) wake(v *VCPU, last *PCPU) {
+	if v.Done || v.paused || v.State != StateBlocked || v.App == nil {
+		return
+	}
+	target := last
+	switch {
+	case v.PinnedPCPU >= 0:
+		target = h.PCPUs[v.PinnedPCPU]
+	case v.pendingNode != numa.NoNode:
+		target = h.leastLoadedPCPU(v.pendingNode)
+		v.pendingNode = numa.NoNode
+	}
+	v.Priority = PrioBoost
+	h.enqueue(target, v)
+	if target.Current != nil && target.Current.Priority > PrioBoost {
+		h.preempt(target)
+	} else {
+		h.kickIdle()
+		h.schedule(target)
+	}
+}
+
+// swapGuestThreads models the guest scheduler moving a busy thread onto a
+// previously housekeeping-only VCPU of the same domain. The thread's state
+// (progress, pages, counters) travels with it; the VCPUs' hypervisor-side
+// scheduling state (queue position, credits, measured characteristics)
+// stays put — so the analyzer's view of both VCPUs is stale until the next
+// sampling period.
+func (h *Hypervisor) swapGuestThreads(d *Domain) {
+	var apps, parks []*VCPU
+	for _, v := range d.VCPUs {
+		if v.App == nil || v.State == StateRunning || v.PinnedPCPU >= 0 || v.Done {
+			continue
+		}
+		if v.App.BurstMicros > 0 {
+			parks = append(parks, v)
+		} else if v.App.Server {
+			// Request-driven threads park elsewhere routinely (wake
+			// balancing); CPU-bound batch threads only occasionally.
+			apps = append(apps, v)
+		} else if !v.App.Endless() && h.RNG.Float64() < h.Config.BatchMigrationFraction {
+			apps = append(apps, v)
+		}
+	}
+	if len(apps) == 0 || len(parks) == 0 {
+		return
+	}
+	a := apps[h.RNG.Intn(len(apps))]
+	b := parks[h.RNG.Intn(len(parks))]
+	a.App, b.App = b.App, a.App
+	a.InstrDone, b.InstrDone = b.InstrDone, a.InstrDone
+	a.Counters, b.Counters = b.Counters, a.Counters
+	a.Sampler, b.Sampler = b.Sampler, a.Sampler
+	a.PageDist, b.PageDist = b.PageDist, a.PageDist
+	a.ColdLines, b.ColdLines = b.ColdLines, a.ColdLines
+	a.firstTouched, b.firstTouched = b.firstTouched, a.firstTouched
+	a.nodeTime, b.nodeTime = b.nodeTime, a.nodeTime
+	// The thread arrives with a cold cache on its new VCPU's socket.
+	if ph := b.Phase(); ph != nil {
+		b.ColdLines = h.Perf.ColdLinesFor(ph)
+	}
+	h.trace("guest %s: thread %s moved vcpu%d -> vcpu%d", d.Name, b.App.Name, a.ID, b.ID)
+}
+
+// finishFirstTouch settles an app's page placement at the end of its
+// allocation window: pages concentrate (by FirstTouchLocality) on the node
+// where the VCPU spent the most run time, masked by the VM's actual
+// machine-memory layout.
+func (h *Hypervisor) finishFirstTouch(v *VCPU) {
+	if v.firstTouched || v.App == nil || v.Done {
+		return
+	}
+	v.firstTouched = true
+	node := v.StartNode
+	var best sim.Duration = -1
+	for n, t := range v.nodeTime {
+		if t > best {
+			best = t
+			node = numa.NodeID(n)
+		}
+	}
+	v.PageDist = mem.FirstTouch(v.Dom.MemDist, node, h.Config.FirstTouchLocality)
+}
+
+// enqueue timestamps the VCPU for cache-hot protection and inserts it.
+func (h *Hypervisor) enqueue(p *PCPU, v *VCPU) {
+	v.lastQueuedAt = h.Engine.Now()
+	p.Enqueue(v)
+}
+
+// cacheHot reports whether v ran too recently to be stolen.
+func (h *Hypervisor) cacheHot(v *VCPU) bool {
+	return float64(h.Engine.Now().Sub(v.lastQueuedAt)) < h.Config.CacheHotMicros
+}
+
+// checkWatch stops the engine when all watched domains are done.
+func (h *Hypervisor) checkWatch() {
+	if len(h.watch) == 0 {
+		return
+	}
+	for _, d := range h.watch {
+		if !d.AllDone() {
+			return
+		}
+	}
+	h.Engine.Stop()
+}
+
+// kickIdle re-dispatches every idle PCPU (new work may have appeared).
+func (h *Hypervisor) kickIdle() {
+	for _, p := range h.PCPUs {
+		if p.Current == nil {
+			p := p
+			h.Engine.Schedule(0, "kick", func(*sim.Engine) { h.schedule(p) })
+		}
+	}
+}
+
+// leastLoadedPCPU returns the PCPU on node with the smallest Workload
+// (ties toward the lowest id).
+func (h *Hypervisor) leastLoadedPCPU(node numa.NodeID) *PCPU {
+	var best *PCPU
+	for _, cpu := range h.Top.CPUsOf(node) {
+		p := h.PCPUs[cpu]
+		if best == nil || p.Workload < best.Workload {
+			best = p
+		}
+	}
+	return best
+}
+
+// MigrateToNode moves a VCPU toward a node: queued VCPUs move immediately
+// to the node's least-loaded PCPU; running VCPUs migrate when their
+// current quantum ends. Pinned VCPUs never move.
+func (h *Hypervisor) MigrateToNode(v *VCPU, node numa.NodeID) {
+	if v.PinnedPCPU >= 0 || int(node) < 0 || int(node) >= h.Top.NumNodes() {
+		return
+	}
+	switch v.State {
+	case StateRunning:
+		if h.PCPUs[v.OnPCPU].Node != node {
+			v.pendingNode = node
+		}
+	case StateRunnable:
+		cur := h.PCPUs[v.OnPCPU]
+		if cur.Node == node {
+			return
+		}
+		if cur.Remove(v) {
+			h.enqueue(h.leastLoadedPCPU(node), v)
+			h.kickIdle()
+		}
+	}
+}
+
+// Run advances the simulation until the horizon or until watched domains
+// complete, and returns the stop time.
+func (h *Hypervisor) Run(horizon sim.Duration) sim.Time {
+	if !h.started {
+		if err := h.Start(); err != nil {
+			panic(err)
+		}
+	}
+	h.Engine.RunUntil(sim.Time(horizon))
+	return h.Engine.Now()
+}
+
+// TotalBusyTime sums PCPU busy time (the Table III denominator).
+func (h *Hypervisor) TotalBusyTime() sim.Duration {
+	var t sim.Duration
+	for _, p := range h.PCPUs {
+		t += p.BusyTime
+	}
+	return t
+}
+
+// OverheadFraction returns the paper's Table III metric: overhead time as
+// a fraction of total execution time.
+func (h *Hypervisor) OverheadFraction() float64 {
+	busy := h.TotalBusyTime()
+	if busy <= 0 {
+		return 0
+	}
+	return float64(h.SampleOverhead) / float64(busy)
+}

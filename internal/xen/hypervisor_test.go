@@ -1,0 +1,364 @@
+package xen_test
+
+import (
+	"math"
+	"testing"
+
+	"vprobe/internal/mem"
+	"vprobe/internal/numa"
+	"vprobe/internal/sched"
+	"vprobe/internal/sim"
+	"vprobe/internal/workload"
+	"vprobe/internal/xen"
+)
+
+func newHV(t *testing.T, kind sched.Kind) *xen.Hypervisor {
+	t.Helper()
+	return xen.New(numa.XeonE5620(), sched.MustNew(kind), xen.DefaultConfig())
+}
+
+// runBatch builds one domain with n instances of app, runs to completion,
+// and returns the hypervisor and finish time of the last instance.
+func runBatch(t *testing.T, kind sched.Kind, app *workload.Profile, n int) (*xen.Hypervisor, sim.Time) {
+	t.Helper()
+	h := newHV(t, kind)
+	d, err := h.CreateDomain("vm1", 4096, n, mem.PolicyStripe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := h.AttachApp(d, i, app.Clone()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.WatchDomains(d)
+	end := h.Run(sim.Duration(10 * 60 * sim.Second))
+	if !d.AllDone() {
+		t.Fatalf("domain not done at %v", end)
+	}
+	var last sim.Time
+	for _, v := range d.VCPUs {
+		if v.FinishTime > last {
+			last = v.FinishTime
+		}
+	}
+	return h, last
+}
+
+func TestSingleAppCompletes(t *testing.T) {
+	app := workload.Povray().Scale(0.02) // 4.8e8 instructions
+	h, finish := runBatch(t, sched.KindCredit, app, 1)
+	// Solo povray: CPI ~ BaseCPI (negligible memory), so runtime is
+	// roughly instr * CPI / clock.
+	wantSec := app.TotalInstructions * 0.86 / (2.4e9)
+	got := finish.Seconds()
+	if got < wantSec*0.9 || got > wantSec*1.3 {
+		t.Fatalf("finish = %vs, analytic estimate %vs", got, wantSec)
+	}
+	v := h.Domains[0].VCPUs[0]
+	if v.Counters.Instructions < app.TotalInstructions*0.999 {
+		t.Fatalf("counters report %v instructions, want ~%v",
+			v.Counters.Instructions, app.TotalInstructions)
+	}
+}
+
+func TestParallelSpeedup(t *testing.T) {
+	app := workload.Povray().Scale(0.02)
+	_, solo := runBatch(t, sched.KindCredit, app, 1)
+	_, four := runBatch(t, sched.KindCredit, app, 4)
+	// Four compute-bound instances on 8 PCPUs: near-ideal parallelism.
+	if float64(four) > float64(solo)*1.25 {
+		t.Fatalf("4-way run %v took much longer than solo %v", four, solo)
+	}
+}
+
+func TestOvercommitFairness(t *testing.T) {
+	app := workload.Povray().Scale(0.02)
+	_, solo := runBatch(t, sched.KindCredit, app, 1)
+	h, sixteen := runBatch(t, sched.KindCredit, app, 16)
+	// 16 identical VCPUs on 8 PCPUs: ~2x solo runtime.
+	ratio := float64(sixteen) / float64(solo)
+	if ratio < 1.7 || ratio > 2.6 {
+		t.Fatalf("overcommit ratio = %v, want ~2", ratio)
+	}
+	// Fairness: finish times are clustered.
+	var min, max sim.Time
+	for _, v := range h.Domains[0].VCPUs {
+		if min == 0 || v.FinishTime < min {
+			min = v.FinishTime
+		}
+		if v.FinishTime > max {
+			max = v.FinishTime
+		}
+	}
+	if float64(max)/float64(min) > 1.3 {
+		t.Fatalf("unfair finishes: min=%v max=%v", min, max)
+	}
+}
+
+func TestWorkConservation(t *testing.T) {
+	// With more runnable VCPUs than PCPUs, no PCPU idles while work
+	// waits: total busy time ~= horizon * numPCPUs.
+	h := newHV(t, sched.KindCredit)
+	d, _ := h.CreateDomain("vm1", 2048, 16, mem.PolicyStripe)
+	for i := 0; i < 16; i++ {
+		h.AttachApp(d, i, workload.Hungry())
+	}
+	h.Run(5 * sim.Second)
+	busy := h.TotalBusyTime().Seconds()
+	want := 5.0 * 8
+	if busy < want*0.97 {
+		t.Fatalf("busy = %vs, want ~%vs (idling with runnable work)", busy, want)
+	}
+}
+
+func TestCountersMatchOutcomes(t *testing.T) {
+	app := workload.Soplex().Scale(0.01)
+	h, _ := runBatch(t, sched.KindCredit, app, 2)
+	for _, v := range h.Domains[0].VCPUs {
+		c := v.Counters
+		if c.LLCMiss > c.LLCRef {
+			t.Fatal("misses exceed references")
+		}
+		var nodeSum float64
+		for _, x := range c.Node {
+			nodeSum += x
+		}
+		if math.Abs(nodeSum-c.LLCMiss) > 1e-6*c.LLCMiss {
+			t.Fatalf("node accesses %v != misses %v", nodeSum, c.LLCMiss)
+		}
+		if c.Remote > nodeSum {
+			t.Fatal("remote exceeds total accesses")
+		}
+	}
+}
+
+func TestPinnedVCPUNeverMoves(t *testing.T) {
+	h := newHV(t, sched.KindCredit)
+	d, _ := h.CreateDomain("vm1", 2048, 2, mem.PolicyStripe)
+	pinned, _ := h.AttachApp(d, 0, workload.Milc().Scale(0.01))
+	h.AttachApp(d, 1, workload.Hungry())
+	if err := h.Pin(pinned, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Pin(pinned, 99); err == nil {
+		t.Fatal("invalid pin accepted")
+	}
+	h.WatchDomains(d)
+	h.Run(60 * sim.Second)
+	if !pinned.Done {
+		t.Fatal("pinned app did not finish")
+	}
+	if pinned.Migrations != 0 || pinned.NodeMoves != 0 {
+		t.Fatalf("pinned VCPU moved: migrations=%d nodeMoves=%d",
+			pinned.Migrations, pinned.NodeMoves)
+	}
+	if pinned.StartNode != h.Top.NodeOf(5) {
+		t.Fatalf("start node = %v", pinned.StartNode)
+	}
+}
+
+func TestCreditStealingMigratesAcrossNodes(t *testing.T) {
+	// Overcommitted Credit: VCPUs bounce between sockets (the paper's
+	// §II-B premise).
+	app := workload.LU().Scale(0.02)
+	h, _ := runBatch(t, sched.KindCredit, app, 12)
+	moves := 0
+	for _, v := range h.Domains[0].VCPUs {
+		moves += v.NodeMoves
+	}
+	if moves == 0 {
+		t.Fatal("no cross-node migrations under overcommitted Credit")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	app := workload.MCF().Scale(0.01)
+	_, a := runBatch(t, sched.KindVProbe, app, 6)
+	_, b := runBatch(t, sched.KindVProbe, app, 6)
+	if a != b {
+		t.Fatalf("same-seed runs differ: %v vs %v", a, b)
+	}
+}
+
+func TestVProbeAnalyzerClassifies(t *testing.T) {
+	h := newHV(t, sched.KindVProbe)
+	d, _ := h.CreateDomain("vm1", 4096, 3, mem.PolicyStripe)
+	thrasher, _ := h.AttachApp(d, 0, workload.Libquantum())
+	fitting, _ := h.AttachApp(d, 1, workload.LU())
+	friendly, _ := h.AttachApp(d, 2, workload.Povray())
+	h.Run(3 * sim.Second) // a few sampling periods
+	if thrasher.Type.String() != "LLC-T" {
+		t.Fatalf("libquantum classified %v (pressure %.2f)", thrasher.Type, thrasher.LLCPressure)
+	}
+	if fitting.Type.String() != "LLC-FI" {
+		t.Fatalf("lu classified %v (pressure %.2f)", fitting.Type, fitting.LLCPressure)
+	}
+	if friendly.Type.String() != "LLC-FR" {
+		t.Fatalf("povray classified %v (pressure %.2f)", friendly.Type, friendly.LLCPressure)
+	}
+	if thrasher.NodeAffinity == numa.NoNode {
+		t.Fatal("no affinity derived for a memory-intensive VCPU")
+	}
+}
+
+func TestVProbeOverheadAccounted(t *testing.T) {
+	h := newHV(t, sched.KindVProbe)
+	d, _ := h.CreateDomain("vm1", 4096, 2, mem.PolicyStripe)
+	h.AttachApp(d, 0, workload.Soplex())
+	h.AttachApp(d, 1, workload.Soplex())
+	h.Run(10 * sim.Second)
+	f := h.OverheadFraction()
+	if f <= 0 {
+		t.Fatal("vProbe reported zero overhead")
+	}
+	if f > 0.001 {
+		t.Fatalf("overhead fraction %v, want < 0.1%% (paper Table III)", f)
+	}
+}
+
+func TestCreditHasNoSamplingOverhead(t *testing.T) {
+	h := newHV(t, sched.KindCredit)
+	d, _ := h.CreateDomain("vm1", 4096, 2, mem.PolicyStripe)
+	h.AttachApp(d, 0, workload.Soplex())
+	h.AttachApp(d, 1, workload.Soplex())
+	h.Run(5 * sim.Second)
+	if h.SampleOverhead != 0 {
+		t.Fatalf("Credit accumulated sampling overhead %v", h.SampleOverhead)
+	}
+}
+
+func TestDomainCreationErrors(t *testing.T) {
+	h := newHV(t, sched.KindCredit)
+	if _, err := h.CreateDomain("bad", 1024, 0, mem.PolicyStripe); err == nil {
+		t.Fatal("zero VCPUs accepted")
+	}
+	if _, err := h.CreateDomain("big", 1<<30, 1, mem.PolicyStripe); err == nil {
+		t.Fatal("oversized memory accepted")
+	}
+	d, err := h.CreateDomain("ok", 1024, 2, mem.PolicyFill)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.AttachApp(d, 5, workload.Povray()); err == nil {
+		t.Fatal("out-of-range VCPU index accepted")
+	}
+	if _, err := h.AttachApp(d, 0, &workload.Profile{}); err == nil {
+		t.Fatal("invalid profile accepted")
+	}
+	if _, err := h.AttachApp(d, 0, workload.Povray()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.AttachApp(d, 0, workload.Povray()); err == nil {
+		t.Fatal("double attach accepted")
+	}
+	h.Run(sim.Millisecond)
+	if _, err := h.CreateDomain("late", 1024, 1, mem.PolicyFill); err == nil {
+		t.Fatal("CreateDomain after Start accepted")
+	}
+}
+
+func TestGuestIdleVCPUsNeverRun(t *testing.T) {
+	h := newHV(t, sched.KindCredit)
+	d, _ := h.CreateDomain("vm1", 4096, 8, mem.PolicyStripe)
+	for i := 0; i < 4; i++ {
+		h.AttachApp(d, i, workload.Hungry())
+	}
+	h.Run(2 * sim.Second)
+	for i := 4; i < 8; i++ {
+		v := d.VCPUs[i]
+		if v.RunTime != 0 || v.State != xen.StateBlocked {
+			t.Fatalf("idle VCPU %d ran (%v, state %v)", i, v.RunTime, v.State)
+		}
+	}
+}
+
+func TestMigrateToNode(t *testing.T) {
+	h := newHV(t, sched.KindCredit)
+	d, _ := h.CreateDomain("vm1", 2048, 10, mem.PolicyStripe)
+	for i := 0; i < 10; i++ {
+		h.AttachApp(d, i, workload.Hungry())
+	}
+	h.Run(100 * sim.Millisecond)
+	// Find a queued VCPU and force it to the other node.
+	var v *xen.VCPU
+	for _, cand := range d.VCPUs {
+		if cand.State == xen.StateRunnable {
+			v = cand
+			break
+		}
+	}
+	if v == nil {
+		t.Skip("no queued VCPU at this instant")
+	}
+	from := h.Top.NodeOf(v.OnPCPU)
+	target := numa.NodeID(1 - int(from))
+	h.MigrateToNode(v, target)
+	if h.Top.NodeOf(v.OnPCPU) != target {
+		t.Fatalf("queued VCPU not migrated: on node %v", h.Top.NodeOf(v.OnPCPU))
+	}
+	// Invalid node: no-op.
+	h.MigrateToNode(v, numa.NodeID(9))
+	if h.Top.NodeOf(v.OnPCPU) != target {
+		t.Fatal("invalid node migration moved the VCPU")
+	}
+}
+
+func TestStartTwiceFails(t *testing.T) {
+	h := newHV(t, sched.KindCredit)
+	if err := h.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Start(); err == nil {
+		t.Fatal("second Start accepted")
+	}
+}
+
+func TestServerVCPURunsIndefinitely(t *testing.T) {
+	h := newHV(t, sched.KindCredit)
+	d, _ := h.CreateDomain("vm1", 4096, 1, mem.PolicyStripe)
+	v, _ := h.AttachApp(d, 0, workload.Memcached(64))
+	h.Run(3 * sim.Second)
+	if v.Done {
+		t.Fatal("server marked done")
+	}
+	if v.RequestsServed() <= 0 {
+		t.Fatal("server served nothing")
+	}
+}
+
+func TestPageMigrationExtension(t *testing.T) {
+	mk := func(migrate bool) *xen.VCPU {
+		cfg := xen.DefaultConfig()
+		// Keep first-touch from re-settling the manually imposed layout.
+		cfg.FirstTouchDelay = 10 * 60 * sim.Second
+		h := xen.New(numa.XeonE5620(), sched.MustNew(sched.KindCredit), cfg)
+		if migrate {
+			h.Migrator = mem.DefaultMigrator()
+		}
+		d, _ := h.CreateDomain("vm1", 4096, 1, mem.PolicyStripe)
+		v, _ := h.AttachApp(d, 0, workload.Libquantum().Scale(0.05))
+		h.Pin(v, 0)
+		// Pages deliberately remote.
+		h.WatchDomains(d)
+		h.Start()
+		v.PageDist = mem.Dist{0.1, 0.9}
+		h.Run(120 * sim.Second)
+		return v
+	}
+	plain := mk(false)
+	migrated := mk(true)
+	if !plain.Done || !migrated.Done {
+		t.Fatal("apps did not finish")
+	}
+	if migrated.PageDist[0] <= plain.PageDist[0] {
+		t.Fatalf("page migration did not localize pages: %v vs %v",
+			migrated.PageDist, plain.PageDist)
+	}
+	remotePlain := plain.Counters.Remote / plain.Counters.Total()
+	remoteMigrated := migrated.Counters.Remote / migrated.Counters.Total()
+	if remoteMigrated >= remotePlain {
+		t.Fatalf("page migration did not reduce remote ratio: %v vs %v",
+			remoteMigrated, remotePlain)
+	}
+}

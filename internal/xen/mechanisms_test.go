@@ -1,0 +1,310 @@
+package xen_test
+
+import (
+	"testing"
+
+	"vprobe/internal/mem"
+	"vprobe/internal/numa"
+	"vprobe/internal/sched"
+	"vprobe/internal/sim"
+	"vprobe/internal/workload"
+	"vprobe/internal/xen"
+)
+
+// TestBoostPreemptsRunner: a waking housekeeping VCPU must not wait a full
+// 30 ms timeslice behind a CPU hog — BOOST preempts.
+func TestBoostPreemptsRunner(t *testing.T) {
+	h := newHV(t, sched.KindCredit)
+	d, _ := h.CreateDomain("vm", 2048, 2, mem.PolicyStripe)
+	hog, _ := h.AttachApp(d, 0, workload.Hungry())
+	gi, _ := h.AttachApp(d, 1, workload.GuestIdle())
+	// Pin both to the same PCPU so the burst must preempt the hog.
+	h.Pin(hog, 0)
+	h.Pin(gi, 0)
+	h.Run(2 * sim.Second)
+	// Guest idle: ~200µs burst every ~8ms -> ~2.4% duty. Without
+	// preemption it would get at most one burst per 30ms hog quantum and
+	// spend most time queued; with BOOST its runtime approaches the duty
+	// cycle.
+	frac := gi.RunTime.Seconds() / 2.0
+	if frac < 0.015 {
+		t.Fatalf("guest-idle got %.2f%% CPU; BOOST preemption not working", 100*frac)
+	}
+	if hog.RunTime.Seconds() < 1.5 {
+		t.Fatalf("hog starved: %v", hog.RunTime)
+	}
+	// Preemption truncates quanta: total accounted time can't exceed
+	// the horizon.
+	if total := hog.RunTime + gi.RunTime; total.Seconds() > 2.01 {
+		t.Fatalf("over-accounted CPU: %v", total)
+	}
+}
+
+// TestPreemptionPreservesWork: truncated quanta account partial
+// instructions consistently (no work invented or lost at preemption).
+func TestPreemptionPreservesWork(t *testing.T) {
+	h := newHV(t, sched.KindCredit)
+	d, _ := h.CreateDomain("vm", 2048, 3, mem.PolicyStripe)
+	app, _ := h.AttachApp(d, 0, workload.Povray().Scale(0.1))
+	gi1, _ := h.AttachApp(d, 1, workload.GuestIdle())
+	gi2, _ := h.AttachApp(d, 2, workload.GuestIdle())
+	h.Pin(app, 3)
+	h.Pin(gi1, 3)
+	h.Pin(gi2, 3)
+	h.WatchDomains(d)
+	h.Run(60 * sim.Second)
+	if !app.Done {
+		t.Fatal("app did not finish")
+	}
+	if app.Counters.Instructions < app.App.TotalInstructions*0.999 {
+		t.Fatalf("counters %.4g < total %.4g", app.Counters.Instructions, app.App.TotalInstructions)
+	}
+	// Many preemptions must have happened (gi bursts every ~8ms).
+	if app.Switches < 50 {
+		t.Fatalf("only %d switches; preemption not exercised", app.Switches)
+	}
+}
+
+// TestGuestThreadSwap: server threads move between VCPUs of a domain; the
+// app's progress follows the thread.
+func TestGuestThreadSwap(t *testing.T) {
+	cfg := xen.DefaultConfig()
+	cfg.GuestThreadMigrationMean = 500 * sim.Millisecond
+	h := xen.New(numa.XeonE5620(), sched.MustNew(sched.KindCredit), cfg)
+	d, _ := h.CreateDomain("vm", 4096, 8, mem.PolicyStripe)
+	srv, err := h.AttachApp(d, 0, workload.Memcached(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 8; i++ {
+		h.AttachApp(d, i, workload.GuestIdle())
+	}
+	h.Run(10 * sim.Second)
+	// The server profile should have visited more than one VCPU.
+	holder := 0
+	var instr float64
+	for _, v := range d.VCPUs {
+		if v.App != nil && v.App.Server {
+			holder++
+			instr = v.InstrDone
+		}
+	}
+	if holder != 1 {
+		t.Fatalf("server profile on %d VCPUs, want exactly 1", holder)
+	}
+	if srv.App != nil && srv.App.Server {
+		t.Log("server never moved (possible but unlikely at this rate)")
+	}
+	if instr <= 0 {
+		t.Fatal("server lost its progress across swaps")
+	}
+}
+
+// TestGuestSwapDisabled: zero mean disables thread parking entirely.
+func TestGuestSwapDisabled(t *testing.T) {
+	cfg := xen.DefaultConfig()
+	cfg.GuestThreadMigrationMean = 0
+	h := xen.New(numa.XeonE5620(), sched.MustNew(sched.KindCredit), cfg)
+	d, _ := h.CreateDomain("vm", 4096, 4, mem.PolicyStripe)
+	h.AttachApp(d, 0, workload.Memcached(64))
+	for i := 1; i < 4; i++ {
+		h.AttachApp(d, i, workload.GuestIdle())
+	}
+	h.Run(10 * sim.Second)
+	if d.VCPUs[0].App == nil || !d.VCPUs[0].App.Server {
+		t.Fatal("server moved with guest migration disabled")
+	}
+}
+
+// TestDeferredFirstTouch: pages settle on the node where the app ran
+// during its allocation window.
+func TestDeferredFirstTouch(t *testing.T) {
+	h := newHV(t, sched.KindCredit)
+	d, _ := h.CreateDomain("vm", 4096, 1, mem.PolicyStripe)
+	v, _ := h.AttachApp(d, 0, workload.Libquantum())
+	h.Pin(v, 6) // node 1
+	h.Run(3 * sim.Second)
+	if v.PageDist.Home() != 1 {
+		t.Fatalf("pages settled on node %v, app ran on node 1 (dist %v)",
+			v.PageDist.Home(), v.PageDist)
+	}
+	if v.PageDist[1] < 0.8 {
+		t.Fatalf("weak concentration: %v", v.PageDist)
+	}
+	// Before the window closes the app sees the VM-wide layout.
+	h2 := newHV(t, sched.KindCredit)
+	d2, _ := h2.CreateDomain("vm", 4096, 1, mem.PolicyStripe)
+	v2, _ := h2.AttachApp(d2, 0, workload.Libquantum())
+	h2.Pin(v2, 6)
+	h2.Run(500 * sim.Millisecond)
+	if v2.PageDist[1] > 0.6 {
+		t.Fatalf("pages concentrated before the first-touch window: %v", v2.PageDist)
+	}
+}
+
+// TestRepickObliviousVsAware: under sustained imbalance, the oblivious
+// re-pick crosses nodes while the NUMA-aware one stays local.
+func TestRepickObliviousVsAware(t *testing.T) {
+	moves := func(kind sched.Kind) int {
+		cfg := xen.DefaultConfig()
+		cfg.GuestThreadMigrationMean = 0
+		cfg.Seed = 5
+		h := xen.New(numa.XeonE5620(), sched.MustNew(kind), cfg)
+		d, _ := h.CreateDomain("vm", 8*1024, 8, mem.PolicyStripe)
+		for i := 0; i < 4; i++ {
+			h.AttachApp(d, i, workload.Soplex())
+		}
+		for i := 4; i < 8; i++ {
+			h.AttachApp(d, i, workload.GuestIdle())
+		}
+		d2, _ := h.CreateDomain("vm2", 1024, 8, mem.PolicyFill)
+		for i := 0; i < 8; i++ {
+			h.AttachApp(d2, i, workload.Hungry())
+		}
+		h.Run(20 * sim.Second)
+		total := 0
+		for i := 0; i < 4; i++ {
+			total += d.VCPUs[i].NodeMoves
+		}
+		return total
+	}
+	credit := moves(sched.KindCredit)
+	lb := moves(sched.KindLB)
+	if credit <= lb {
+		t.Fatalf("Credit cross-node moves (%d) not above LB (%d)", credit, lb)
+	}
+}
+
+// TestOverheadTimeTracksPolicy: sampling overhead only accrues for
+// PMU-driven policies and scales with the sampling rate.
+func TestOverheadTimeTracksPolicy(t *testing.T) {
+	mk := func(pol xen.Policy) *xen.Hypervisor {
+		h := xen.New(numa.XeonE5620(), pol, xen.DefaultConfig())
+		d, _ := h.CreateDomain("vm", 4096, 4, mem.PolicyStripe)
+		for i := 0; i < 4; i++ {
+			h.AttachApp(d, i, workload.Hungry())
+		}
+		h.Run(5 * sim.Second)
+		return h
+	}
+	fast := sched.NewVProbe()
+	fast.SamplePeriod = 100 * sim.Millisecond
+	slow := sched.NewVProbe()
+	slow.SamplePeriod = 2 * sim.Second
+	hf := mk(fast)
+	hs := mk(slow)
+	if hf.SampleOverhead <= hs.SampleOverhead {
+		t.Fatalf("10x sampling rate overhead %v not above %v", hf.SampleOverhead, hs.SampleOverhead)
+	}
+}
+
+// TestPMUNoiseShrinksWithWindow: classification is stable at 1 s windows
+// and unstable at 0.1 s windows for a near-bound workload.
+func TestPMUNoiseShrinksWithWindow(t *testing.T) {
+	flips := func(period sim.Duration) int {
+		pol := sched.NewVProbe()
+		pol.SamplePeriod = period
+		cfg := xen.DefaultConfig()
+		h := xen.New(numa.XeonE5620(), pol, cfg)
+		d, _ := h.CreateDomain("vm", 4096, 1, mem.PolicyStripe)
+		// CG's RPTI (17.5) sits near the LLC-T bound (20).
+		v, _ := h.AttachApp(d, 0, workload.CG())
+		h.Pin(v, 0)
+		prev := v.Type
+		count := 0
+		h.Engine.Every(period, period, "watch", func(*sim.Engine) {
+			if v.Type != prev {
+				count++
+				prev = v.Type
+			}
+		})
+		h.Run(20 * sim.Second)
+		return count
+	}
+	noisy := flips(100 * sim.Millisecond)
+	stable := flips(sim.Second)
+	if noisy <= stable {
+		t.Fatalf("0.1s windows flipped %d times, 1s windows %d — noise model inverted", noisy, stable)
+	}
+}
+
+// TestAssignedNodeProtectsFromRemoteSteal: a partition-assigned VCPU is
+// never pulled across nodes by the NUMA-aware balancer.
+func TestAssignedNodeProtectsFromRemoteSteal(t *testing.T) {
+	h := newHV(t, sched.KindVProbe)
+	d, _ := h.CreateDomain("vm", 8*1024, 8, mem.PolicyStripe)
+	for i := 0; i < 8; i++ {
+		h.AttachApp(d, i, workload.Libquantum())
+	}
+	h.Run(10 * sim.Second)
+	moved := 0
+	for _, v := range d.VCPUs {
+		if v.AssignedNode == numa.NoNode {
+			continue
+		}
+		if h.Top.NodeOf(v.OnPCPU) != v.AssignedNode && v.State != xen.StateBlocked {
+			moved++
+		}
+	}
+	if moved > 0 {
+		t.Fatalf("%d assigned VCPUs found off their node", moved)
+	}
+}
+
+// TestFourNodePartitioning: Algorithm 1 balances across four nodes.
+func TestFourNodePartitioning(t *testing.T) {
+	cfg := xen.DefaultConfig()
+	h := xen.New(numa.FourNode(), sched.MustNew(sched.KindVProbe), cfg)
+	d, _ := h.CreateDomain("vm", 16*1024, 8, mem.PolicyStripe)
+	for i := 0; i < 8; i++ {
+		h.AttachApp(d, i, workload.Milc())
+	}
+	h.Run(3 * sim.Second)
+	loads := make(map[numa.NodeID]int)
+	for _, v := range d.VCPUs {
+		if v.AssignedNode != numa.NoNode {
+			loads[v.AssignedNode]++
+		}
+	}
+	if len(loads) != 4 {
+		t.Fatalf("assignments cover %d nodes, want 4: %v", len(loads), loads)
+	}
+	for n, c := range loads {
+		if c != 2 {
+			t.Fatalf("node %v got %d VCPUs, want 2: %v", n, c, loads)
+		}
+	}
+}
+
+// TestCacheHotProtection: widening the cache-hot window suppresses
+// migration churn (steals skip recently-run VCPUs).
+func TestCacheHotProtection(t *testing.T) {
+	movesWith := func(hotMicros float64) int {
+		cfg := xen.DefaultConfig()
+		cfg.CacheHotMicros = hotMicros
+		cfg.Seed = 2
+		h := xen.New(numa.XeonE5620(), sched.MustNew(sched.KindCredit), cfg)
+		d, _ := h.CreateDomain("vm", 8*1024, 8, mem.PolicyStripe)
+		for i := 0; i < 4; i++ {
+			h.AttachApp(d, i, workload.Soplex())
+		}
+		for i := 4; i < 8; i++ {
+			h.AttachApp(d, i, workload.GuestIdle())
+		}
+		d2, _ := h.CreateDomain("vm2", 1024, 8, mem.PolicyFill)
+		for i := 0; i < 8; i++ {
+			h.AttachApp(d2, i, workload.Hungry())
+		}
+		h.Run(30 * sim.Second)
+		total := 0
+		for i := 0; i < 4; i++ {
+			total += d.VCPUs[i].Migrations
+		}
+		return total
+	}
+	hot := movesWith(1e9) // everything always hot: UNDER steals suppressed
+	cold := movesWith(0)
+	if hot >= cold {
+		t.Fatalf("hot-window migrations %d not below no-window %d", hot, cold)
+	}
+}

@@ -1,0 +1,87 @@
+package xen
+
+import (
+	"testing"
+)
+
+func mkv(id VCPUID, prio Priority) *VCPU {
+	return &VCPU{ID: id, Priority: prio, PinnedPCPU: -1, OnPCPU: -1}
+}
+
+func TestEnqueuePriorityOrdering(t *testing.T) {
+	p := &PCPU{ID: 0}
+	a := mkv(1, PrioOver)
+	b := mkv(2, PrioUnder)
+	c := mkv(3, PrioOver)
+	d := mkv(4, PrioUnder)
+	p.Enqueue(a)
+	p.Enqueue(b)
+	p.Enqueue(c)
+	p.Enqueue(d)
+	// UNDER VCPUs (b, d in FIFO order) come before OVER (a, c).
+	want := []VCPUID{2, 4, 1, 3}
+	for i, v := range p.Queue() {
+		if v.ID != want[i] {
+			t.Fatalf("queue order = %v at %d, want %v", v.ID, i, want)
+		}
+	}
+	if p.Workload != 4 {
+		t.Fatalf("workload = %d", p.Workload)
+	}
+}
+
+func TestDequeueFIFO(t *testing.T) {
+	p := &PCPU{ID: 0}
+	p.Enqueue(mkv(1, PrioUnder))
+	p.Enqueue(mkv(2, PrioUnder))
+	if v := p.Dequeue(); v.ID != 1 {
+		t.Fatalf("dequeued %d", v.ID)
+	}
+	if v := p.Dequeue(); v.ID != 2 {
+		t.Fatalf("dequeued %d", v.ID)
+	}
+	if p.Dequeue() != nil {
+		t.Fatal("dequeue from empty returned non-nil")
+	}
+	if p.Workload != 0 {
+		t.Fatalf("workload = %d", p.Workload)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	p := &PCPU{ID: 0}
+	a, b := mkv(1, PrioUnder), mkv(2, PrioUnder)
+	p.Enqueue(a)
+	p.Enqueue(b)
+	if !p.Remove(b) {
+		t.Fatal("Remove failed")
+	}
+	if p.Remove(b) {
+		t.Fatal("double Remove succeeded")
+	}
+	if p.QueueLen() != 1 || p.Workload != 1 {
+		t.Fatalf("len=%d workload=%d", p.QueueLen(), p.Workload)
+	}
+}
+
+func TestStealableExcludesPinned(t *testing.T) {
+	p := &PCPU{ID: 0}
+	a := mkv(1, PrioUnder)
+	b := mkv(2, PrioUnder)
+	b.PinnedPCPU = 0
+	p.Enqueue(a)
+	p.Enqueue(b)
+	s := p.Stealable()
+	if len(s) != 1 || s[0].ID != 1 {
+		t.Fatalf("stealable = %v", s)
+	}
+}
+
+func TestVCPUStateStrings(t *testing.T) {
+	if StateBlocked.String() != "blocked" || StateRunnable.String() != "runnable" || StateRunning.String() != "running" {
+		t.Fatal("state names wrong")
+	}
+	if VCPUState(9).String() == "" {
+		t.Fatal("unknown state stringer empty")
+	}
+}

@@ -1,0 +1,208 @@
+package xen
+
+import (
+	"math"
+
+	"vprobe/internal/core"
+	"vprobe/internal/numa"
+	"vprobe/internal/sim"
+)
+
+func mathSqrt(x float64) float64   { return math.Sqrt(x) }
+func mathMax(a, b float64) float64 { return math.Max(a, b) }
+
+// Policy is a pluggable VCPU scheduling policy. The hypervisor drives the
+// mechanics (quanta, ticks, credit accounting); the policy decides which
+// VCPU a PCPU runs next and what happens at each sampling period.
+type Policy interface {
+	// Name identifies the policy in reports ("Credit", "vProbe", ...).
+	Name() string
+	// UsesPMU reports whether the policy virtualizes PMU counters
+	// (adds Perfctr-Xen save/restore cost on context switches).
+	UsesPMU() bool
+	// NUMAAwareBalance reports whether the periodic placement re-pick
+	// (csched_vcpu_acct's _csched_cpu_pick) is restricted to the local
+	// node. Stock Credit (and VCPU-P, BRM) answer false — the
+	// NUMA-oblivious behaviour §II-B measures.
+	NUMAAwareBalance() bool
+	// PickNext chooses the next VCPU for the idle PCPU p and removes it
+	// from whatever queue holds it (the Hypervisor steal helpers do
+	// this). Returning nil leaves p idle until a kick.
+	PickNext(h *Hypervisor, p *PCPU) *VCPU
+	// OnTick runs once per running VCPU per 10 ms tick (PMU refresh
+	// costs, BRM's lock acquisition, ...).
+	OnTick(h *Hypervisor, v *VCPU)
+	// Period is the sampling period; <= 0 disables OnPeriod.
+	Period() sim.Duration
+	// OnPeriod runs at every sampling-period boundary.
+	OnPeriod(h *Hypervisor)
+}
+
+// --- Reusable policy building blocks -----------------------------------
+
+// NextLocal pops the head of p's own run queue.
+func (h *Hypervisor) NextLocal(p *PCPU) *VCPU {
+	return p.Dequeue()
+}
+
+// HeadIsRunnableUnder reports whether p's queue head exists and has UNDER
+// priority or better (BOOST). Xen's csched_schedule only falls into load
+// balancing when the local candidate is OVER (or absent); both the default
+// and the NUMA-aware balancers share that trigger.
+func (p *PCPU) HeadIsRunnableUnder() bool {
+	head := p.PeekHead()
+	return head != nil && head.Priority <= PrioUnder
+}
+
+// CreditSteal implements the default Credit scheduler's NUMA-oblivious
+// work stealing: scan peer PCPUs in id order starting after p, looking for
+// an UNDER-priority VCPU; when anyPriority is set (the stealing PCPU has
+// nothing at all), a second pass settles for any stealable VCPU. The scan
+// order crosses node boundaries freely — exactly the behaviour §II-B
+// blames for remote-access inflation.
+func (h *Hypervisor) CreditSteal(p *PCPU, anyPriority bool) *VCPU {
+	n := len(h.PCPUs)
+	passes := 1
+	if anyPriority {
+		passes = 2
+	}
+	for pass := 0; pass < passes; pass++ {
+		for i := 1; i < n; i++ {
+			q := h.PCPUs[(int(p.ID)+i)%n]
+			// Cross-socket theft only repairs a real imbalance (the
+			// migration costs the victim its cache state); the check is
+			// queue-length based and still NUMA-oblivious about *which*
+			// VCPU moves.
+			if pass == 0 && q.Node != p.Node && q.Workload < p.QueueLen()+1 {
+				continue
+			}
+			for _, v := range q.Stealable() {
+				if pass == 0 && v.Priority > PrioUnder {
+					continue
+				}
+				if pass == 0 && h.cacheHot(v) {
+					continue
+				}
+				q.Remove(v)
+				return v
+			}
+		}
+	}
+	return nil
+}
+
+// QueueViews builds Algorithm 2's per-node view of all run queues,
+// excluding p's own queue. With underOnly set, only UNDER-priority VCPUs
+// are visible (the head-is-OVER balancing path must not trade an OVER
+// VCPU for another OVER VCPU). VCPUs partition-assigned to a node other
+// than the stealer's are not offered for cross-node theft: the assignment
+// holds until the next sampling period.
+func (h *Hypervisor) QueueViews(except *PCPU, underOnly bool) map[numa.NodeID][]core.QueueView {
+	views := make(map[numa.NodeID][]core.QueueView, h.Top.NumNodes())
+	for _, q := range h.PCPUs {
+		if q == except {
+			continue
+		}
+		view := core.QueueView{CPU: q.ID, Workload: q.Workload}
+		for _, v := range q.Stealable() {
+			if underOnly && v.Priority > PrioUnder {
+				continue
+			}
+			if underOnly && h.cacheHot(v) {
+				continue
+			}
+			if v.AssignedNode != numa.NoNode && except != nil && v.AssignedNode != except.Node {
+				continue
+			}
+			view.Runnable = append(view.Runnable, core.RunnableVCPU{
+				VCPU:     int(v.ID),
+				Pressure: v.LLCPressure,
+			})
+		}
+		views[q.Node] = append(views[q.Node], view)
+	}
+	return views
+}
+
+// NUMAAwareSteal applies the paper's Algorithm 2: steal the
+// lowest-pressure runnable VCPU from the most loaded PCPU of the local
+// node, falling back to remote nodes in distance order. underOnly
+// restricts candidates to UNDER priority (head-is-OVER trigger);
+// localOnly suppresses the remote fallback entirely.
+func (h *Hypervisor) NUMAAwareSteal(p *PCPU, underOnly, localOnly bool) *VCPU {
+	views := h.QueueViews(p, underOnly)
+	var order []numa.NodeID
+	if !localOnly {
+		order = core.NodeOrderFrom(h.Top, p.Node)
+	}
+	d, ok := core.PickSteal(p.Node, order, views)
+	if !ok {
+		return nil
+	}
+	v := h.vcpuByID[VCPUID(d.VCPU)]
+	if v == nil {
+		return nil
+	}
+	if !h.PCPUs[d.From].Remove(v) {
+		return nil
+	}
+	return v
+}
+
+// SampleAll samples every app-carrying VCPU's PMU window and returns the
+// analyzer stats, charging the per-VCPU collection cost. This is the PMU
+// data analyzer's period-end pass (§III-B).
+func (h *Hypervisor) SampleAll(an *core.Analyzer) []core.Stat {
+	stats := make([]core.Stat, 0, len(h.vcpus))
+	cpm := h.Top.CyclesPerMicrosecond()
+	for _, v := range h.vcpus {
+		if v.App == nil {
+			continue
+		}
+		d := v.Sampler.Sample(v.Counters)
+		if h.Config.PMUNoiseFactor > 0 && d.Instructions > 0 {
+			// Finite-window measurement noise: counter multiplexing and
+			// interrupt skew make short windows unreliable.
+			sd := h.Config.PMUNoiseFactor * mathSqrt(1e9/mathMax(d.Instructions, 1e6))
+			d.LLCRef *= mathMax(0, h.RNG.Normal(1, sd))
+		}
+		s := an.Analyze(int(v.ID), d)
+		v.NodeAffinity = s.Affinity
+		v.LLCPressure = s.Pressure
+		v.Type = s.Type
+		v.AddOverhead(h.Config.PMUUpdateMicros*cpm, cpm)
+		h.SampleOverhead += sim.Duration(h.Config.PMUUpdateMicros)
+		stats = append(stats, s)
+	}
+	return stats
+}
+
+// ApplyPartition migrates VCPUs according to Algorithm 1's assignments and
+// charges the partitioning pass cost.
+func (h *Hypervisor) ApplyPartition(as []core.Assignment) {
+	cpm := h.Top.CyclesPerMicrosecond()
+	cost := h.Config.PartitionFixedMicros + h.Config.PartitionPerVCPUMicros*float64(len(as))
+	h.SampleOverhead += sim.Duration(cost)
+	// The pass runs in hypervisor context on one PCPU; charge whoever is
+	// running there.
+	if len(h.PCPUs) > 0 && h.PCPUs[0].Current != nil {
+		h.PCPUs[0].Current.AddOverhead(cost*cpm, cpm)
+	}
+	assigned := make(map[VCPUID]bool, len(as))
+	for _, a := range as {
+		v := h.vcpuByID[VCPUID(a.VCPU)]
+		if v == nil {
+			continue
+		}
+		assigned[v.ID] = true
+		v.AssignedNode = a.Node
+		h.MigrateToNode(v, a.Node)
+	}
+	// VCPUs that dropped out of the memory-intensive set lose their
+	// assignment and return to default balancing.
+	for _, v := range h.vcpus {
+		if v.App != nil && !assigned[v.ID] {
+			v.AssignedNode = numa.NoNode
+		}
+	}
+}

@@ -1,0 +1,307 @@
+// Package vprobe is a simulation-based reproduction of "vProbe: Scheduling
+// Virtual Machines on NUMA Systems" (Wu, Sun, Zhou, Gan, Jin — IEEE
+// CLUSTER 2016).
+//
+// The paper implements a NUMA-aware VCPU scheduler inside Xen 4.0.1:
+// per-VCPU PMU counters feed a classifier (LLC access pressure, memory
+// node affinity), a periodical partitioning mechanism reassigns
+// memory-intensive VCPUs to nodes every sampling period, and a NUMA-aware
+// work-stealing policy keeps idle PCPUs from dragging cache-hungry VCPUs
+// across sockets. This package reproduces the entire system — hypervisor,
+// machine, workloads, and the five schedulers the paper evaluates — as a
+// deterministic discrete-event simulation, because the original artifact
+// (a hypervisor patch on a 2-socket Xeon E5620) cannot be run directly.
+//
+// # Quick start
+//
+//	sim, err := vprobe.NewSimulator(vprobe.Config{Scheduler: vprobe.SchedulerVProbe})
+//	vm, err := sim.AddVM(vprobe.VMConfig{Name: "vm1", MemoryMB: 8192, VCPUs: 8})
+//	err = vm.RunApp("soplex")
+//	report, err := sim.Run(60 * time.Second)
+//	fmt.Println(report)
+//
+// # Layout
+//
+// The public API wraps the internal packages:
+//
+//   - internal/core — the paper's algorithms (Eqs. 1–3, Algorithm 1 and 2)
+//   - internal/xen — the hypervisor model (Credit mechanics, run queues)
+//   - internal/sched — the five policies: Credit, vProbe, VCPU-P, LB, BRM
+//   - internal/perf — the analytic NUMA performance model
+//   - internal/workload — calibrated SPEC/NPB/memcached/Redis profiles
+//   - internal/experiments — one runner per paper table/figure
+//
+// Run `go run ./cmd/vprobe-sim` to regenerate every table and figure of the
+// paper's evaluation; see EXPERIMENTS.md for the paper-vs-measured record.
+package vprobe
+
+import (
+	"fmt"
+	"time"
+
+	"vprobe/internal/core"
+	"vprobe/internal/mem"
+	"vprobe/internal/numa"
+	"vprobe/internal/sched"
+	"vprobe/internal/sim"
+	"vprobe/internal/workload"
+	"vprobe/internal/xen"
+)
+
+// newDynamicBounds builds the adaptive-bounds extension.
+func newDynamicBounds() *core.DynamicBounds { return core.NewDynamicBounds() }
+
+// Scheduler selects a VCPU scheduling policy (§V-A2 of the paper).
+type Scheduler string
+
+// The five schedulers of the paper's evaluation.
+const (
+	SchedulerCredit Scheduler = "credit"
+	SchedulerVProbe Scheduler = "vprobe"
+	SchedulerVCPUP  Scheduler = "vcpu-p"
+	SchedulerLB     Scheduler = "lb"
+	SchedulerBRM    Scheduler = "brm"
+)
+
+// Schedulers returns all selectable schedulers in the paper's order.
+func Schedulers() []Scheduler {
+	out := make([]Scheduler, 0, 5)
+	for _, k := range sched.PaperOrder() {
+		out = append(out, Scheduler(k))
+	}
+	return out
+}
+
+// Topology names a machine preset.
+type Topology string
+
+// Machine presets.
+const (
+	// TopologyXeonE5620 is the paper's Table I testbed: 2 sockets x 4
+	// cores at 2.4 GHz, 12 MB LLC per socket, 12 GB per node.
+	TopologyXeonE5620 Topology = "xeon-e5620"
+	// TopologyFourNode is a synthetic 4-node machine exercising the
+	// N > 2 paths of the paper's algorithms.
+	TopologyFourNode Topology = "four-node"
+	// TopologyUMA is a single-node machine (degenerate NUMA).
+	TopologyUMA Topology = "uma"
+)
+
+// Config configures a Simulator.
+type Config struct {
+	// Scheduler is the policy under test (default SchedulerCredit).
+	Scheduler Scheduler
+	// Topology is the machine preset (default TopologyXeonE5620).
+	Topology Topology
+	// Seed makes runs reproducible (default 1).
+	Seed uint64
+	// SamplePeriod overrides vProbe-family sampling (default 1s).
+	SamplePeriod time.Duration
+	// DynamicBounds enables the paper's §VI future-work extension:
+	// classification bounds adapt to the running pressure distribution.
+	DynamicBounds bool
+	// PageMigration enables the §VI page-migration extension.
+	PageMigration bool
+	// Trace receives scheduling trace lines when non-nil.
+	Trace func(at time.Duration, line string)
+}
+
+// MemPolicy selects how a VM's memory is placed across nodes.
+type MemPolicy int
+
+// VM memory placement policies.
+const (
+	// MemFill packs memory node by node (Xen 4.0.1's default builder).
+	MemFill MemPolicy = iota
+	// MemStripe spreads memory evenly across nodes (the paper's VM1:
+	// "split into two nodes").
+	MemStripe
+)
+
+// VMConfig describes one virtual machine.
+type VMConfig struct {
+	Name     string
+	MemoryMB int64
+	VCPUs    int
+	// Memory is the placement policy (default MemFill).
+	Memory MemPolicy
+	// FillGuestIdle attaches housekeeping bursts to VCPUs without apps
+	// (realistic guest behaviour; default false).
+	FillGuestIdle bool
+}
+
+// Simulator is a configured virtual NUMA machine ready to host VMs.
+type Simulator struct {
+	h         *xen.Hypervisor
+	cfg       Config
+	started   bool
+	idleFlags map[*xen.Domain]bool
+}
+
+// NewSimulator builds a simulator.
+func NewSimulator(cfg Config) (*Simulator, error) {
+	if cfg.Scheduler == "" {
+		cfg.Scheduler = SchedulerCredit
+	}
+	if cfg.Topology == "" {
+		cfg.Topology = TopologyXeonE5620
+	}
+	mkTop, ok := numa.Presets[string(cfg.Topology)]
+	if !ok {
+		return nil, fmt.Errorf("vprobe: unknown topology %q", cfg.Topology)
+	}
+	pol, err := sched.New(sched.Kind(cfg.Scheduler))
+	if err != nil {
+		return nil, err
+	}
+	if vp, ok := pol.(*sched.VProbe); ok {
+		if cfg.SamplePeriod > 0 {
+			vp.SamplePeriod = sim.Duration(cfg.SamplePeriod.Microseconds())
+		}
+		if cfg.DynamicBounds {
+			vp.Dynamic = newDynamicBounds()
+		}
+	}
+	xcfg := xen.DefaultConfig()
+	if cfg.Seed != 0 {
+		xcfg.Seed = cfg.Seed
+	}
+	h := xen.New(mkTop(), pol, xcfg)
+	if cfg.PageMigration {
+		h.Migrator = mem.DefaultMigrator()
+	}
+	if cfg.Trace != nil {
+		h.TraceFn = func(t sim.Time, format string, args ...any) {
+			cfg.Trace(time.Duration(t)*time.Microsecond, fmt.Sprintf(format, args...))
+		}
+	}
+	return &Simulator{h: h, cfg: cfg, idleFlags: make(map[*xen.Domain]bool)}, nil
+}
+
+// Hypervisor exposes the underlying model for advanced use (inspection,
+// custom policies). The returned value is owned by the simulator.
+func (s *Simulator) Hypervisor() *xen.Hypervisor { return s.h }
+
+// VM is a created virtual machine.
+type VM struct {
+	sim *Simulator
+	d   *xen.Domain
+	cfg VMConfig
+}
+
+// AddVM creates a VM. All VMs must be added before Run.
+func (s *Simulator) AddVM(cfg VMConfig) (*VM, error) {
+	if s.started {
+		return nil, fmt.Errorf("vprobe: AddVM after Run")
+	}
+	pol := mem.PolicyFill
+	if cfg.Memory == MemStripe {
+		pol = mem.PolicyStripe
+	}
+	d, err := s.h.CreateDomain(cfg.Name, cfg.MemoryMB, cfg.VCPUs, pol)
+	if err != nil {
+		return nil, err
+	}
+	s.idleFlags[d] = cfg.FillGuestIdle
+	return &VM{sim: s, d: d, cfg: cfg}, nil
+}
+
+// Domain exposes the underlying domain model.
+func (vm *VM) Domain() *xen.Domain { return vm.d }
+
+// RunApp starts one instance of a catalog application (by name: "soplex",
+// "lu", "hungry", ...) on the VM's next free VCPU.
+func (vm *VM) RunApp(name string) error {
+	p, err := workload.ByName(name)
+	if err != nil {
+		return err
+	}
+	return vm.RunProfile(p.Clone())
+}
+
+// RunProfile starts an instance of an explicit profile on the next free
+// VCPU of the VM.
+func (vm *VM) RunProfile(p *workload.Profile) error {
+	for i, v := range vm.d.VCPUs {
+		if v.App == nil {
+			_, err := vm.sim.h.AttachApp(vm.d, i, p)
+			return err
+		}
+	}
+	return fmt.Errorf("vprobe: VM %q has no free VCPUs", vm.cfg.Name)
+}
+
+// RunServer starts a request-driven server profile ("memcached" with a
+// concurrency, "redis" with a connection count).
+func (vm *VM) RunServer(kind string, load int) error {
+	switch kind {
+	case "memcached":
+		return vm.RunProfile(workload.Memcached(load))
+	case "redis":
+		return vm.RunProfile(workload.Redis(load))
+	default:
+		return fmt.Errorf("vprobe: unknown server kind %q", kind)
+	}
+}
+
+// fillGuestIdle attaches housekeeping apps to remaining VCPUs.
+func (vm *VM) fillGuestIdle() error {
+	for i, v := range vm.d.VCPUs {
+		if v.App == nil {
+			if _, err := vm.sim.h.AttachApp(vm.d, i, workload.GuestIdle()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Run advances the simulation for at most horizon of virtual time,
+// stopping earlier if every finite app in every VM completes, and returns
+// the report.
+func (s *Simulator) Run(horizon time.Duration) (*Report, error) {
+	return s.run(horizon, true)
+}
+
+// RunWatching is Run but stops as soon as the listed VMs complete (other
+// VMs may still hold unfinished work).
+func (s *Simulator) RunWatching(horizon time.Duration, vms ...*VM) (*Report, error) {
+	var ds []*xen.Domain
+	for _, vm := range vms {
+		ds = append(ds, vm.d)
+	}
+	s.h.WatchDomains(ds...)
+	return s.run(horizon, false)
+}
+
+func (s *Simulator) run(horizon time.Duration, watchAll bool) (*Report, error) {
+	if horizon <= 0 {
+		return nil, fmt.Errorf("vprobe: non-positive horizon %v", horizon)
+	}
+	if !s.started {
+		for _, d := range s.h.Domains {
+			if vmCfgWantsIdle(s, d) {
+				vm := &VM{sim: s, d: d}
+				if err := vm.fillGuestIdle(); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if watchAll && len(s.h.Domains) > 0 {
+			s.h.WatchDomains(s.h.Domains...)
+		}
+		if err := s.h.Start(); err != nil {
+			return nil, err
+		}
+		s.started = true
+	}
+	end := s.h.Run(sim.Duration(horizon.Microseconds()))
+	return buildReport(s, end), nil
+}
+
+// vmCfgWantsIdle finds the original VMConfig flag; domains created through
+// AddVM with FillGuestIdle get housekeeping on their free VCPUs.
+func vmCfgWantsIdle(s *Simulator, d *xen.Domain) bool {
+	f, ok := s.idleFlags[d]
+	return ok && f
+}
