@@ -11,6 +11,7 @@
 package vprobe_test
 
 import (
+	"context"
 	"testing"
 
 	"vprobe/internal/core"
@@ -118,6 +119,50 @@ func BenchmarkAblateAffinity(b *testing.B) {
 // BenchmarkFourNode regenerates the 4-node extension experiment.
 func BenchmarkFourNode(b *testing.B) {
 	runExperiment(b, "fournode", benchOpts())
+}
+
+// --- Parallel harness benchmarks ---------------------------------------
+
+// suiteBenchIDs is a pair of multi-simulation experiments whose inner
+// scenario grids the harness fans out.
+var suiteBenchIDs = []string{"fig4", "fig5"}
+
+func suiteBenchOpts(workers int) experiments.Options {
+	opts := benchOpts()
+	opts.Scale = 0.1
+	opts.Schedulers = []sched.Kind{sched.KindCredit, sched.KindVProbe}
+	opts.Workers = workers
+	return opts
+}
+
+func runSuiteBench(b *testing.B, workers int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		items, err := experiments.RunSuite(context.Background(), suiteBenchIDs,
+			suiteBenchOpts(workers))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, item := range items {
+			if item.Err != nil {
+				b.Fatal(item.Err)
+			}
+		}
+	}
+}
+
+// BenchmarkSuiteSequential runs the suite on one worker — the baseline for
+// the parallel harness speedup (compare with BenchmarkSuiteParallel).
+func BenchmarkSuiteSequential(b *testing.B) {
+	runSuiteBench(b, 1)
+}
+
+// BenchmarkSuiteParallel runs the same suite on GOMAXPROCS workers. Results
+// are byte-identical to the sequential run; on a 4-core machine wall time
+// drops by well over 2x because every (workload, scheduler, seed) scenario
+// is an independent simulation.
+func BenchmarkSuiteParallel(b *testing.B) {
+	runSuiteBench(b, 0)
 }
 
 // --- Micro-benchmarks of the core algorithms ---------------------------

@@ -10,14 +10,21 @@
 // -w is the measured VM's workload spec, -i the interfering VM's (see
 // internal/workload.ParseSpec for the syntax). A third VM always runs
 // eight hungry loops, as in the paper's standard setup.
+//
+// The (scheduler, seed) grid runs in parallel across -workers OS threads;
+// the table is identical at every worker count. SIGINT/SIGTERM cancels.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
+	"vprobe/internal/harness"
 	"vprobe/internal/mem"
 	"vprobe/internal/metrics"
 	"vprobe/internal/numa"
@@ -35,7 +42,11 @@ func main() {
 	scale := flag.Float64("scale", 0.5, "workload scale factor")
 	horizon := flag.Float64("horizon", 1200, "virtual-time cap in seconds")
 	topoName := flag.String("topo", "xeon-e5620", "topology preset name or JSON file path")
+	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	top, err := numa.Resolve(*topoName)
 	if err != nil {
@@ -54,18 +65,31 @@ func main() {
 		fatal(fmt.Errorf("at most 8 apps per VM (got %d / %d)", len(apps1), len(apps2)))
 	}
 
+	var kinds []sched.Kind
+	for _, name := range strings.Split(*schedList, ",") {
+		kinds = append(kinds, sched.Kind(strings.TrimSpace(name)))
+	}
+
+	// One job per (scheduler, seed) cell, assembled in grid order so the
+	// printed table never depends on completion order.
+	n := len(kinds) * *seeds
+	cells, err := harness.Map(ctx, *workers, n,
+		func(ctx context.Context, i int) (oneResult, error) {
+			kind := kinds[i / *seeds]
+			s := i % *seeds
+			return runOnce(ctx, top, kind, apps1, apps2, uint64(s+1), *scale, *horizon)
+		})
+	if err != nil {
+		fatal(err)
+	}
+
 	t := metrics.NewTable(
 		fmt.Sprintf("workload %q vs interference %q (%d seeds, scale %.2f)",
 			*wSpec, *iSpec, *seeds, *scale),
 		"scheduler", "exec(s)", "remote", "page-remote", "moves/app", "overhead")
-	for _, name := range strings.Split(*schedList, ",") {
-		kind := sched.Kind(strings.TrimSpace(name))
+	for ki, kind := range kinds {
 		var execs, remotes, pages, moves, overheads []float64
-		for s := 0; s < *seeds; s++ {
-			res, err := runOnce(top, kind, apps1, apps2, uint64(s+1), *scale, *horizon)
-			if err != nil {
-				fatal(err)
-			}
+		for _, res := range cells[ki**seeds : (ki+1)**seeds] {
 			execs = append(execs, res.exec)
 			remotes = append(remotes, res.remote)
 			pages = append(pages, res.page)
@@ -86,7 +110,7 @@ type oneResult struct {
 	exec, remote, page, moves, overhead float64
 }
 
-func runOnce(top *numa.Topology, kind sched.Kind, apps1, apps2 []*workload.Profile, seed uint64, scale, horizon float64) (oneResult, error) {
+func runOnce(ctx context.Context, top *numa.Topology, kind sched.Kind, apps1, apps2 []*workload.Profile, seed uint64, scale, horizon float64) (oneResult, error) {
 	pol, err := sched.New(kind)
 	if err != nil {
 		return oneResult{}, err
@@ -136,7 +160,10 @@ func runOnce(top *numa.Topology, kind sched.Kind, apps1, apps2 []*workload.Profi
 		}
 	}
 	h.WatchDomains(vm1)
-	end := h.Run(sim.DurationFromSeconds(horizon))
+	end, err := h.RunContext(ctx, sim.DurationFromSeconds(horizon))
+	if err != nil {
+		return oneResult{}, err
+	}
 	runs := metrics.CollectDomain(vm1, end)
 	var mv float64
 	for _, r := range runs {

@@ -3,28 +3,42 @@
 //
 // Usage:
 //
-//	vprobe-sim [-scale f] [-seed n] [-list] [experiment ...]
+//	vprobe-sim [-scale f] [-seed n] [-workers n] [-timeout d] [-list] [experiment ...]
 //
 // Without arguments it runs every registered experiment. Experiment ids
 // match the paper's artifacts: table1, fig1, fig3, fig4, fig5, fig6, fig7,
 // fig8, table3, plus the ablation experiments.
+//
+// Experiments (and the simulations inside each) run in parallel across
+// -workers OS threads; results are identical at every worker count. SIGINT
+// or SIGTERM cancels the run promptly. Progress events stream to stderr,
+// and with -out they are also exported as events.jsonl next to the CSV/JSON
+// result files.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
 	"time"
 
 	"vprobe/internal/experiments"
+	"vprobe/internal/harness"
 )
 
 func main() {
 	scale := flag.Float64("scale", experiments.DefaultScale,
 		"workload scale factor (1.0 = paper-sized runs)")
 	seed := flag.Uint64("seed", 1, "simulation seed")
+	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 0, "per-experiment wall-clock limit (0 = none)")
+	quiet := flag.Bool("q", false, "suppress progress output on stderr")
 	list := flag.Bool("list", false, "list experiments and exit")
-	out := flag.String("out", "", "directory for CSV/JSON result exports")
+	out := flag.String("out", "", "directory for CSV/JSON result and JSONL event exports")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: %s [flags] [experiment ...]\n\nexperiments:\n", os.Args[0])
 		for _, e := range experiments.All() {
@@ -42,29 +56,54 @@ func main() {
 		return
 	}
 
-	ids := flag.Args()
-	if len(ids) == 0 {
-		ids = experiments.IDs()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var sinks []harness.Sink
+	if !*quiet {
+		sinks = append(sinks, harness.NewConsole(os.Stderr))
 	}
-	opts := experiments.Options{Seed: *seed, Scale: *scale}
-	failed := false
-	for _, id := range ids {
-		e, err := experiments.ByID(id)
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f, err := os.Create(filepath.Join(*out, "events.jsonl"))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		sinks = append(sinks, harness.NewJSONL(f))
+	}
+	opts := experiments.Options{
+		Seed:    *seed,
+		Scale:   *scale,
+		Workers: *workers,
+		Timeout: *timeout,
+	}
+	if len(sinks) > 0 {
+		opts.Events = harness.Multi(sinks...)
+	}
+
+	start := time.Now()
+	items, err := experiments.RunSuite(ctx, flag.Args(), opts)
+	if err != nil && len(items) == 0 {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	failed := false
+	for _, item := range items {
+		id := item.Experiment.ID
+		if item.Err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, item.Err)
 			failed = true
 			continue
 		}
-		start := time.Now()
-		res, err := e.Run(opts)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
-			failed = true
-			continue
-		}
-		fmt.Print(res.String())
+		fmt.Print(item.Result.String())
 		if *out != "" {
-			paths, err := res.Export(*out)
+			paths, err := item.Result.Export(*out)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "%s: export: %v\n", id, err)
 				failed = true
@@ -72,9 +111,18 @@ func main() {
 				fmt.Printf("(exported %v)\n", paths)
 			}
 		}
-		fmt.Printf("(%s ran in %.1fs)\n\n", id, time.Since(start).Seconds())
+		fmt.Println()
+		// Timing goes to stderr: stdout stays byte-identical across runs
+		// and worker counts.
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "(%s ran in %.1fs, simulated %.0fs)\n",
+				id, item.Wall.Seconds(), item.SimTime.Seconds())
+		}
 	}
-	if failed {
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "total wall time %.1fs\n", time.Since(start).Seconds())
+	}
+	if failed || err != nil {
 		os.Exit(1)
 	}
 }

@@ -27,9 +27,9 @@ func main() {
 	sim, err := vprobe.NewSimulator(vprobe.Config{
 		Scheduler: vprobe.Scheduler(*schedName),
 		Seed:      *seed,
-		Trace: func(at time.Duration, line string) {
-			fmt.Printf("%12.6f  %s\n", at.Seconds(), line)
-		},
+		Events: vprobe.EventFunc(func(ev vprobe.Event) {
+			fmt.Printf("%12.6f  %-14s %s\n", ev.At.Seconds(), ev.Kind, ev.Detail)
+		}),
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -1,0 +1,16 @@
+package vprobe
+
+import "errors"
+
+// Sentinel errors returned (wrapped) by the public API, for callers to
+// match with errors.Is.
+var (
+	// ErrUnknownTopology: Config.Topology names no machine preset.
+	ErrUnknownTopology = errors.New("vprobe: unknown topology")
+	// ErrUnknownScheduler: Config.Scheduler names no registered policy.
+	ErrUnknownScheduler = errors.New("vprobe: unknown scheduler")
+	// ErrNoFreeVCPU: every VCPU of the VM already carries an app.
+	ErrNoFreeVCPU = errors.New("vprobe: no free VCPU")
+	// ErrAlreadyStarted: the operation is only valid before Run.
+	ErrAlreadyStarted = errors.New("vprobe: simulation already started")
+)

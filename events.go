@@ -1,0 +1,93 @@
+package vprobe
+
+import (
+	"time"
+
+	"vprobe/internal/xen"
+)
+
+// EventKind labels a scheduling event.
+type EventKind string
+
+// Scheduling event kinds delivered to Config.Events.
+const (
+	// EventDispatch: a VCPU starts a quantum on a PCPU.
+	EventDispatch EventKind = EventKind(xen.EventDispatch)
+	// EventAppFinish: an application completed all its work.
+	EventAppFinish EventKind = EventKind(xen.EventAppFinish)
+	// EventBlock: a VCPU blocked (timer, I/O, barrier, network wait).
+	EventBlock EventKind = EventKind(xen.EventBlock)
+	// EventGuestMove: the guest OS parked a thread on another VCPU.
+	EventGuestMove EventKind = EventKind(xen.EventGuestMove)
+	// EventDomPause / EventDomResume / EventDomDestroy: domain lifecycle.
+	EventDomPause   EventKind = EventKind(xen.EventDomPause)
+	EventDomResume  EventKind = EventKind(xen.EventDomResume)
+	EventDomDestroy EventKind = EventKind(xen.EventDomDestroy)
+)
+
+// Event is one structured scheduling trace record. The typed fields carry
+// machine-readable identities; Detail is the human-readable rendering.
+type Event struct {
+	// At is the virtual time of the event.
+	At time.Duration
+	// Kind labels what happened.
+	Kind EventKind
+	// VCPU is the machine-wide VCPU id, -1 when the event is not
+	// VCPU-scoped (e.g. domain lifecycle).
+	VCPU int
+	// Node is the NUMA node involved, -1 when placement is not part of
+	// the event.
+	Node int
+	// App names the workload on the subject VCPU, when it has one.
+	App string
+	// Detail is the formatted trace line.
+	Detail string
+}
+
+// String renders the event as a trace line.
+func (ev Event) String() string { return ev.Detail }
+
+// EventSink consumes scheduling events during a run.
+type EventSink interface {
+	HandleEvent(Event)
+}
+
+// EventFunc adapts a function to EventSink.
+type EventFunc func(Event)
+
+// HandleEvent calls f.
+func (f EventFunc) HandleEvent(ev Event) { f(ev) }
+
+// TraceAdapter converts typed events into the formatted lines of the old
+// Config.Trace signature. It exists so callers migrating off the deprecated
+// string hook can keep their formatting code while switching to Events.
+func TraceAdapter(fn func(at time.Duration, line string)) EventSink {
+	return EventFunc(func(ev Event) { fn(ev.At, ev.Detail) })
+}
+
+// eventFanout builds the xen-level event hook dispatching to the
+// configured sinks (nil when tracing is off).
+func eventFanout(sinks ...EventSink) func(xen.Event) {
+	var active []EventSink
+	for _, s := range sinks {
+		if s != nil {
+			active = append(active, s)
+		}
+	}
+	if len(active) == 0 {
+		return nil
+	}
+	return func(xe xen.Event) {
+		ev := Event{
+			At:     time.Duration(xe.At) * time.Microsecond,
+			Kind:   EventKind(xe.Kind),
+			VCPU:   int(xe.VCPU),
+			Node:   int(xe.Node),
+			App:    xe.App,
+			Detail: xe.Detail,
+		}
+		for _, s := range active {
+			s.HandleEvent(ev)
+		}
+	}
+}

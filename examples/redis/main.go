@@ -49,7 +49,7 @@ func run(scheduler vprobe.Scheduler, connections int) (*vprobe.Report, error) {
 		return nil, err
 	}
 	for i := 0; i < 4; i++ {
-		if err := servers.RunServer("redis", connections); err != nil {
+		if err := servers.RunRedis(connections); err != nil {
 			return nil, err
 		}
 	}

@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"vprobe/internal/core"
+	"vprobe/internal/harness"
 	"vprobe/internal/mem"
 	"vprobe/internal/metrics"
 	"vprobe/internal/numa"
@@ -25,12 +27,17 @@ type ablationVariant struct {
 }
 
 // runVariants executes the standard mix scenario for each variant over the
-// option seeds and reports mean VM1 execution time and remote ratio.
-func runVariants(r *Result, variants []ablationVariant, opts Options, top func() *numa.Topology) error {
+// option seeds and reports mean VM1 execution time and remote ratio. The
+// (variant, seed) grid fans out across opts.Workers; rows keep the
+// variants' declared order.
+func runVariants(ctx context.Context, r *Result, variants []ablationVariant, opts Options, top func() *numa.Topology) error {
 	t := metrics.NewTable(r.Title, "variant", "exec(s)", "remote", "node-moves")
-	for _, variant := range variants {
-		var execs, remotes, moves []float64
-		for rep := 0; rep < opts.Repeats; rep++ {
+	type cell struct{ exec, remote, moves float64 }
+	n := len(variants) * opts.Repeats
+	cells, err := harness.Map(ctx, harness.Workers(opts.Workers, n), n,
+		func(ctx context.Context, i int) (cell, error) {
+			variant := variants[i/opts.Repeats]
+			rep := i % opts.Repeats
 			cfg := xen.DefaultConfig()
 			cfg.Seed = opts.Seed + uint64(rep)
 			h := xen.New(top(), variant.Make(), cfg)
@@ -39,16 +46,31 @@ func runVariants(r *Result, variants []ablationVariant, opts Options, top func()
 			}
 			sc, err := buildStandardVMs(h, mixApps(), mixApps(), opts)
 			if err != nil {
-				return err
+				return cell{}, err
 			}
-			runs, _ := sc.runMeasured(opts)
-			execs = append(execs, metrics.AvgExecSeconds(runs))
-			remotes = append(remotes, metrics.AvgRemoteRatio(runs))
-			m := 0
+			runs, end, err := sc.runMeasured(ctx, opts)
+			if err != nil {
+				return cell{}, fmt.Errorf("%s/seed%d: %w", variant.Label, rep, err)
+			}
+			opts.emitScenario(scenarioName("", variant.Label, rep), end)
+			c := cell{
+				exec:   metrics.AvgExecSeconds(runs),
+				remote: metrics.AvgRemoteRatio(runs),
+			}
 			for _, run := range runs {
-				m += run.NodeMoves
+				c.moves += float64(run.NodeMoves)
 			}
-			moves = append(moves, float64(m))
+			return c, nil
+		})
+	if err != nil {
+		return err
+	}
+	for vi, variant := range variants {
+		var execs, remotes, moves []float64
+		for _, c := range cells[vi*opts.Repeats : (vi+1)*opts.Repeats] {
+			execs = append(execs, c.exec)
+			remotes = append(remotes, c.remote)
+			moves = append(moves, c.moves)
 		}
 		exec := sim.Mean(execs)
 		remote := sim.Mean(remotes)
@@ -64,7 +86,7 @@ func runVariants(r *Result, variants []ablationVariant, opts Options, top func()
 // runAblateAffinity isolates Eq. 1's value: vProbe with the memory node
 // affinity information erased (partitioning balances counts but places
 // VCPUs blindly) against full vProbe and Credit.
-func runAblateAffinity(opts Options) (*Result, error) {
+func runAblateAffinity(ctx context.Context, opts Options) (*Result, error) {
 	opts = opts.normalized()
 	r := &Result{ID: "ablate-affinity", Title: "Ablation: memory node affinity (Eq. 1)"}
 	variants := []ablationVariant{
@@ -76,7 +98,7 @@ func runAblateAffinity(opts Options) (*Result, error) {
 			return p
 		}},
 	}
-	if err := runVariants(r, variants, opts, numa.XeonE5620); err != nil {
+	if err := runVariants(ctx, r, variants, opts, numa.XeonE5620); err != nil {
 		return nil, err
 	}
 	r.Tables[0].AddNote("without Eq. 1, partitioning balances LLC pressure but scatters memory")
@@ -84,7 +106,7 @@ func runAblateAffinity(opts Options) (*Result, error) {
 }
 
 // runAblateDynamic evaluates the §VI dynamic-bounds extension.
-func runAblateDynamic(opts Options) (*Result, error) {
+func runAblateDynamic(ctx context.Context, opts Options) (*Result, error) {
 	opts = opts.normalized()
 	r := &Result{ID: "ablate-dynamic", Title: "Extension: dynamic classification bounds (§VI)"}
 	variants := []ablationVariant{
@@ -95,7 +117,7 @@ func runAblateDynamic(opts Options) (*Result, error) {
 			return p
 		}},
 	}
-	if err := runVariants(r, variants, opts, numa.XeonE5620); err != nil {
+	if err := runVariants(ctx, r, variants, opts, numa.XeonE5620); err != nil {
 		return nil, err
 	}
 	r.Tables[0].AddNote("bounds adapt to the running pressure distribution instead of (3, 20)")
@@ -104,7 +126,7 @@ func runAblateDynamic(opts Options) (*Result, error) {
 
 // runAblatePageMigration evaluates the §VI page-migration extension
 // combined with each scheduler.
-func runAblatePageMigration(opts Options) (*Result, error) {
+func runAblatePageMigration(ctx context.Context, opts Options) (*Result, error) {
 	opts = opts.normalized()
 	r := &Result{ID: "ablate-pagemig", Title: "Extension: page migration (§VI)"}
 	variants := []ablationVariant{
@@ -113,7 +135,7 @@ func runAblatePageMigration(opts Options) (*Result, error) {
 		{Label: "vprobe", Make: func() xen.Policy { return sched.NewVProbe() }},
 		{Label: "vprobe+pagemig", Make: func() xen.Policy { return sched.NewVProbe() }, Migrate: true},
 	}
-	if err := runVariants(r, variants, opts, numa.XeonE5620); err != nil {
+	if err := runVariants(ctx, r, variants, opts, numa.XeonE5620); err != nil {
 		return nil, err
 	}
 	r.Tables[0].AddNote("pages lazily follow the VCPU; the paper expects this to help Credit most")
@@ -122,7 +144,7 @@ func runAblatePageMigration(opts Options) (*Result, error) {
 
 // runFourNode exercises the N > 2 paths of Algorithms 1 and 2 on a
 // synthetic 4-node machine.
-func runFourNode(opts Options) (*Result, error) {
+func runFourNode(ctx context.Context, opts Options) (*Result, error) {
 	opts = opts.normalized()
 	r := &Result{ID: "fournode", Title: "4-node topology (N > 2 algorithm paths)"}
 	t := metrics.NewTable(r.Title, "scheduler", "exec(s)", "remote")
@@ -130,34 +152,38 @@ func runFourNode(opts Options) (*Result, error) {
 		workload.Soplex(), workload.Libquantum(), workload.MCF(), workload.Milc(),
 		workload.LU(), workload.MG(), workload.SP(), workload.CG(),
 	}
-	for _, kind := range []sched.Kind{sched.KindCredit, sched.KindVProbe, sched.KindLB} {
-		var execs, remotes []float64
-		for rep := 0; rep < opts.Repeats; rep++ {
+	kinds := []sched.Kind{sched.KindCredit, sched.KindVProbe, sched.KindLB}
+	type cell struct{ exec, remote float64 }
+	n := len(kinds) * opts.Repeats
+	cells, err := harness.Map(ctx, harness.Workers(opts.Workers, n), n,
+		func(ctx context.Context, i int) (cell, error) {
+			kind := kinds[i/opts.Repeats]
+			rep := i % opts.Repeats
 			pol, err := sched.New(kind)
 			if err != nil {
-				return nil, err
+				return cell{}, err
 			}
 			cfg := xen.DefaultConfig()
 			cfg.Seed = opts.Seed + uint64(rep)
 			h := xen.New(numa.FourNode(), pol, cfg)
 			vm1, err := h.CreateDomain("VM1", 32*1024, 16, mem.PolicyStripe)
 			if err != nil {
-				return nil, err
+				return cell{}, err
 			}
 			vm2, err := h.CreateDomain("VM2", 16*1024, 16, mem.PolicyFill)
 			if err != nil {
-				return nil, err
+				return cell{}, err
 			}
 			for i, app := range apps {
 				p := app.Clone()
 				p.TotalInstructions *= opts.Scale
 				if _, err := h.AttachApp(vm1, i, p); err != nil {
-					return nil, err
+					return cell{}, err
 				}
 				q := app.Clone()
 				q.TotalInstructions *= opts.Scale
 				if _, err := h.AttachApp(vm2, i, q); err != nil {
-					return nil, err
+					return cell{}, err
 				}
 			}
 			for i := len(apps); i < 16; i++ {
@@ -165,10 +191,25 @@ func runFourNode(opts Options) (*Result, error) {
 				h.AttachApp(vm2, i, workload.Hungry())
 			}
 			h.WatchDomains(vm1)
-			end := h.Run(opts.Horizon)
+			end, err := h.RunContext(ctx, opts.Horizon)
+			if err != nil {
+				return cell{}, fmt.Errorf("%s/seed%d: %w", kind, rep, err)
+			}
+			opts.emitScenario(scenarioName("fournode", string(kind), rep), end)
 			runs := metrics.CollectDomain(vm1, end)
-			execs = append(execs, metrics.AvgExecSeconds(runs))
-			remotes = append(remotes, metrics.AvgRemoteRatio(runs))
+			return cell{
+				exec:   metrics.AvgExecSeconds(runs),
+				remote: metrics.AvgRemoteRatio(runs),
+			}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for ki, kind := range kinds {
+		var execs, remotes []float64
+		for _, c := range cells[ki*opts.Repeats : (ki+1)*opts.Repeats] {
+			execs = append(execs, c.exec)
+			remotes = append(remotes, c.remote)
 		}
 		exec := sim.Mean(execs)
 		remote := sim.Mean(remotes)
@@ -186,24 +227,24 @@ func init() {
 		ID:    "ablate-affinity",
 		Title: "Affinity ablation",
 		Paper: "DESIGN.md extension: isolates the value of Eq. 1 inside Algorithm 1",
-		Run:   runAblateAffinity,
+		run:   runAblateAffinity,
 	})
 	register(&Experiment{
 		ID:    "ablate-dynamic",
 		Title: "Dynamic bounds extension",
 		Paper: "Paper §VI future work: workload-adaptive classification bounds",
-		Run:   runAblateDynamic,
+		run:   runAblateDynamic,
 	})
 	register(&Experiment{
 		ID:    "ablate-pagemig",
 		Title: "Page migration extension",
 		Paper: "Paper §VI future work: combine VCPU scheduling with page migration",
-		Run:   runAblatePageMigration,
+		run:   runAblatePageMigration,
 	})
 	register(&Experiment{
 		ID:    "fournode",
 		Title: "Four-node topology",
 		Paper: "DESIGN.md extension: N > 2 paths of Algorithms 1 and 2",
-		Run:   runFourNode,
+		run:   runFourNode,
 	})
 }

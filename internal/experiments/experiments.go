@@ -11,9 +11,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"time"
 
+	"vprobe/internal/harness"
 	"vprobe/internal/metrics"
 	"vprobe/internal/sched"
 	"vprobe/internal/sim"
@@ -22,7 +25,9 @@ import (
 // Options control experiment execution.
 type Options struct {
 	// Seed drives every stochastic element; experiments are
-	// deterministic given (Seed, Scale).
+	// deterministic given (Seed, Scale) — every per-scenario seed is
+	// derived from this root, never from execution order, so results are
+	// identical at any worker count.
 	Seed uint64
 	// Scale multiplies workload lengths; 1.0 is the full paper-sized
 	// runs, smaller values shorten benches and tests. Values <= 0 are
@@ -36,6 +41,28 @@ type Options struct {
 	// Repeats averages each measurement over this many seeds (initial
 	// placement is randomized, so single runs carry placement luck).
 	Repeats int
+	// Workers bounds the harness fan-out: the parallel scenario runs
+	// inside an experiment and the parallel experiments inside RunSuite.
+	// Values <= 0 mean GOMAXPROCS. Worker count never changes results.
+	Workers int
+	// Timeout caps each experiment's wall-clock time in RunSuite
+	// (0 = no limit).
+	Timeout time.Duration
+	// Events, when non-nil, receives harness progress events (scenario
+	// and experiment completions). The sink must be safe for concurrent
+	// use; results never flow through it.
+	Events harness.Sink
+}
+
+// emitScenario reports one finished simulation to the progress sink.
+func (o Options) emitScenario(name string, end sim.Time) {
+	if o.Events != nil {
+		o.Events.Emit(harness.Event{
+			Kind:      harness.EventScenarioFinished,
+			Scenario:  name,
+			SimMicros: int64(end),
+		})
+	}
 }
 
 // DefaultScale keeps full experiment suites in the tens of virtual seconds
@@ -103,7 +130,21 @@ type Experiment struct {
 	Title string
 	// Paper describes what the original artifact showed.
 	Paper string
-	Run   func(Options) (*Result, error)
+	// run executes the experiment; see Run and RunContext.
+	run func(context.Context, Options) (*Result, error)
+}
+
+// Run executes the experiment without cancellation support; it is a thin
+// wrapper over RunContext for callers that predate the context API.
+func (e *Experiment) Run(opts Options) (*Result, error) {
+	return e.run(context.Background(), opts)
+}
+
+// RunContext executes the experiment under ctx: cancelling the context (or
+// exceeding its deadline) aborts the in-flight simulations promptly and
+// returns an error wrapping the context's.
+func (e *Experiment) RunContext(ctx context.Context, opts Options) (*Result, error) {
+	return e.run(ctx, opts)
 }
 
 var registry = map[string]*Experiment{}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -35,7 +36,7 @@ func TestRegistryComplete(t *testing.T) {
 		t.Fatal("All() and IDs() disagree")
 	}
 	for _, e := range All() {
-		if e.Title == "" || e.Paper == "" || e.Run == nil {
+		if e.Title == "" || e.Paper == "" || e.run == nil {
 			t.Errorf("experiment %q incomplete", e.ID)
 		}
 	}
@@ -72,7 +73,7 @@ func TestOptionsNormalization(t *testing.T) {
 }
 
 func TestTable1MatchesPaper(t *testing.T) {
-	res, err := runTable1(testOpts())
+	res, err := runTable1(context.Background(), testOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +89,7 @@ func TestTable1MatchesPaper(t *testing.T) {
 func TestVProbeBeatsCredit(t *testing.T) {
 	opts := testOpts()
 	opts.Schedulers = []sched.Kind{sched.KindCredit, sched.KindVProbe}
-	outs, err := runSchedulers(
+	outs, err := runSchedulers(context.Background(), "",
 		replicate(workload.Soplex(), 4), replicate(workload.Soplex(), 4), opts)
 	if err != nil {
 		t.Fatal(err)
@@ -107,7 +108,7 @@ func TestVCPUPAndLBBetweenExtremes(t *testing.T) {
 	opts.Schedulers = []sched.Kind{
 		sched.KindCredit, sched.KindVProbe, sched.KindVCPUP, sched.KindLB,
 	}
-	outs, err := runSchedulers(
+	outs, err := runSchedulers(context.Background(), "",
 		replicate(workload.Milc(), 4), replicate(workload.Milc(), 4), opts)
 	if err != nil {
 		t.Fatal(err)
@@ -132,7 +133,7 @@ func TestVCPUPAndLBBetweenExtremes(t *testing.T) {
 func TestVProbeReducesRemoteAccesses(t *testing.T) {
 	opts := testOpts()
 	opts.Schedulers = []sched.Kind{sched.KindCredit, sched.KindVProbe}
-	outs, err := runSchedulers(
+	outs, err := runSchedulers(context.Background(), "",
 		replicate(workload.Libquantum(), 4), replicate(workload.Libquantum(), 4), opts)
 	if err != nil {
 		t.Fatal(err)
@@ -165,7 +166,7 @@ func meanExec(b batchOut, threaded bool) float64 {
 // page-level remote ratio is high for every memory-intensive app.
 func TestFig1RemoteRatiosHigh(t *testing.T) {
 	opts := testOpts()
-	res, err := runFig1(opts)
+	res, err := runFig1(context.Background(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +190,7 @@ func TestFig1RemoteRatiosHigh(t *testing.T) {
 // TestFig3Calibration asserts Fig. 3's published RPTI values come out of a
 // full simulation, not just the catalog.
 func TestFig3Calibration(t *testing.T) {
-	res, err := runFig3(testOpts())
+	res, err := runFig3(context.Background(), testOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,7 +222,7 @@ func TestFig6ImprovementGrowsWithConcurrency(t *testing.T) {
 	run := func(conc int) float64 {
 		prof := workload.Memcached(conc)
 		prof.TotalInstructions = 40000 * prof.InstrPerRequest
-		outs, err := runSchedulers(replicate(prof, 8), replicate(prof, 8), opts)
+		outs, err := runSchedulers(context.Background(), "", replicate(prof, 8), replicate(prof, 8), opts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -241,7 +242,7 @@ func TestFig6ImprovementGrowsWithConcurrency(t *testing.T) {
 // worse than 1 s, and very long periods do not beat the 1-2 s region.
 func TestFig8UShape(t *testing.T) {
 	opts := testOpts()
-	res, err := runFig8(opts)
+	res, err := runFig8(context.Background(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -265,7 +266,7 @@ func TestFig8UShape(t *testing.T) {
 // TestTable3OverheadNegligible asserts the paper's headline: vProbe's
 // overhead time is far below 0.1% for 1-4 VMs.
 func TestTable3OverheadNegligible(t *testing.T) {
-	res, err := runTable3(testOpts())
+	res, err := runTable3(context.Background(), testOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -283,7 +284,7 @@ func TestTable3OverheadNegligible(t *testing.T) {
 // TestAffinityAblation asserts Eq. 1 is load-bearing: erasing affinity
 // information makes vProbe dramatically worse.
 func TestAffinityAblation(t *testing.T) {
-	res, err := runAblateAffinity(testOpts())
+	res, err := runAblateAffinity(context.Background(), testOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -296,7 +297,7 @@ func TestAffinityAblation(t *testing.T) {
 
 // TestFourNodeGeneralizes asserts vProbe's advantage holds with N = 4.
 func TestFourNodeGeneralizes(t *testing.T) {
-	res, err := runFourNode(testOpts())
+	res, err := runFourNode(context.Background(), testOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -315,11 +316,11 @@ func TestFourNodeGeneralizes(t *testing.T) {
 func TestDeterministicExperiments(t *testing.T) {
 	opts := testOpts()
 	opts.Repeats = 1
-	a, err := runFig3(opts)
+	a, err := runFig3(context.Background(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := runFig3(opts)
+	b, err := runFig3(context.Background(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,10 @@
 package experiments
 
 import (
+	"context"
+	"fmt"
+
+	"vprobe/internal/harness"
 	"vprobe/internal/mem"
 	"vprobe/internal/metrics"
 	"vprobe/internal/numa"
@@ -14,57 +18,71 @@ import (
 // application alone; the measured LLC miss rate (Fig. 3a) and LLC
 // references per thousand instructions (Fig. 3b) justify the (3, 20)
 // classification bounds.
-func runFig3(opts Options) (*Result, error) {
+func runFig3(ctx context.Context, opts Options) (*Result, error) {
 	opts = opts.normalized()
 	r := &Result{ID: "fig3", Title: "Solo LLC miss rate and RPTI (paper Fig. 3)"}
 	t := metrics.NewTable("Fig. 3", "app", "miss-rate", "RPTI", "class(Eq.3)")
 
 	bounds := map[string]float64{"low": 3, "high": 20}
-	for _, app := range workload.Fig3Apps() {
-		pol, err := policyFor(sched.KindVProbe)
-		if err != nil {
-			return nil, err
-		}
-		cfg := xen.DefaultConfig()
-		cfg.Seed = opts.Seed
-		h := xen.New(numa.XeonE5620(), pol, cfg)
-		d, err := h.CreateDomain("VM1", 4*1024, 1, mem.PolicyLocal)
-		if err != nil {
-			return nil, err
-		}
-		p := app.Clone()
-		p.TotalInstructions *= opts.Scale
-		v, err := h.AttachApp(d, 0, p)
-		if err != nil {
-			return nil, err
-		}
-		// Pin to PCPU 0; PolicyLocal put the VM's memory on node 0,
-		// so the VCPU is local to its pages, as in the paper.
-		if err := h.Pin(v, 0); err != nil {
-			return nil, err
-		}
-		h.WatchDomains(d)
-		h.Run(opts.Horizon)
+	apps := workload.Fig3Apps()
+	type solo struct{ missRate, rpti float64 }
+	solos, err := harness.Map(ctx, harness.Workers(opts.Workers, len(apps)), len(apps),
+		func(ctx context.Context, i int) (solo, error) {
+			app := apps[i]
+			pol, err := policyFor(sched.KindVProbe)
+			if err != nil {
+				return solo{}, err
+			}
+			cfg := xen.DefaultConfig()
+			cfg.Seed = opts.Seed
+			h := xen.New(numa.XeonE5620(), pol, cfg)
+			d, err := h.CreateDomain("VM1", 4*1024, 1, mem.PolicyLocal)
+			if err != nil {
+				return solo{}, err
+			}
+			p := app.Clone()
+			p.TotalInstructions *= opts.Scale
+			v, err := h.AttachApp(d, 0, p)
+			if err != nil {
+				return solo{}, err
+			}
+			// Pin to PCPU 0; PolicyLocal put the VM's memory on node 0,
+			// so the VCPU is local to its pages, as in the paper.
+			if err := h.Pin(v, 0); err != nil {
+				return solo{}, err
+			}
+			h.WatchDomains(d)
+			end, err := h.RunContext(ctx, opts.Horizon)
+			if err != nil {
+				return solo{}, fmt.Errorf("%s: %w", app.Name, err)
+			}
+			opts.emitScenario(app.Name+"/solo", end)
 
-		c := v.Counters
-		missRate := 0.0
-		if c.LLCRef > 0 {
-			missRate = c.LLCMiss / c.LLCRef
-		}
-		rpti := 0.0
-		if c.Instructions > 0 {
-			rpti = c.LLCRef / c.Instructions * 1000
-		}
+			c := v.Counters
+			var s solo
+			if c.LLCRef > 0 {
+				s.missRate = c.LLCMiss / c.LLCRef
+			}
+			if c.Instructions > 0 {
+				s.rpti = c.LLCRef / c.Instructions * 1000
+			}
+			return s, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for i, app := range apps {
+		s := solos[i]
 		class := "LLC-FI"
 		switch {
-		case rpti < bounds["low"]:
+		case s.rpti < bounds["low"]:
 			class = "LLC-FR"
-		case rpti >= bounds["high"]:
+		case s.rpti >= bounds["high"]:
 			class = "LLC-T"
 		}
-		r.Set("missrate/solo", app.Name, missRate)
-		r.Set("rpti/solo", app.Name, rpti)
-		t.AddRow(app.Name, metrics.Pct(missRate), metrics.F(rpti), class)
+		r.Set("missrate/solo", app.Name, s.missRate)
+		r.Set("rpti/solo", app.Name, s.rpti)
+		t.AddRow(app.Name, metrics.Pct(s.missRate), metrics.F(s.rpti), class)
 	}
 	t.AddNote("paper RPTI: povray 0.48, ep 2.01, lu 15.38, mg 16.33, milc 21.68, libquantum 22.41")
 	t.AddNote("bounds chosen: low=3, high=20")
@@ -77,6 +95,6 @@ func init() {
 		ID:    "fig3",
 		Title: "Bound calibration (solo miss rate and RPTI)",
 		Paper: "Fig. 3: RPTI separates LLC-FR (<3), LLC-FI (3..20), LLC-T (>=20)",
-		Run:   runFig3,
+		run:   runFig3,
 	})
 }

@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
+	"vprobe/internal/harness"
 	"vprobe/internal/mem"
 	"vprobe/internal/metrics"
 	"vprobe/internal/numa"
@@ -16,7 +18,7 @@ import (
 // sampling period swept from 0.1 s to 10 s. The paper finds a U-shape:
 // short periods burn overhead and churn placements, long periods let the
 // characteristics go stale; 1 s is the chosen operating point.
-func runFig8(opts Options) (*Result, error) {
+func runFig8(ctx context.Context, opts Options) (*Result, error) {
 	opts = opts.normalized()
 	r := &Result{ID: "fig8", Title: "Mix workload vs sampling period (paper Fig. 8)"}
 	t := metrics.NewTable("Fig. 8", "period", "exec-time(s)", "overhead", "node-moves")
@@ -30,27 +32,43 @@ func runFig8(opts Options) (*Result, error) {
 		5 * sim.Second,
 		10 * sim.Second,
 	}
-	for _, period := range periods {
-		pol := sched.NewVProbe()
-		pol.SamplePeriod = period
-		cfg := xen.DefaultConfig()
-		cfg.Seed = opts.Seed
-		h := xen.New(numa.XeonE5620(), pol, cfg)
-		sc, err := buildStandardVMs(h, mixApps(), mixApps(), opts)
-		if err != nil {
-			return nil, err
-		}
-		runs, _ := sc.runMeasured(opts)
-		exec := metrics.AvgExecSeconds(runs)
-		moves := 0
-		for _, run := range runs {
-			moves += run.NodeMoves
-		}
+	type point struct {
+		exec     float64
+		overhead float64
+		moves    int
+	}
+	points, err := harness.Map(ctx, harness.Workers(opts.Workers, len(periods)), len(periods),
+		func(ctx context.Context, i int) (point, error) {
+			period := periods[i]
+			pol := sched.NewVProbe()
+			pol.SamplePeriod = period
+			cfg := xen.DefaultConfig()
+			cfg.Seed = opts.Seed
+			h := xen.New(numa.XeonE5620(), pol, cfg)
+			sc, err := buildStandardVMs(h, mixApps(), mixApps(), opts)
+			if err != nil {
+				return point{}, err
+			}
+			runs, end, err := sc.runMeasured(ctx, opts)
+			if err != nil {
+				return point{}, fmt.Errorf("period %s: %w", period, err)
+			}
+			opts.emitScenario("period/"+period.String(), end)
+			p := point{exec: metrics.AvgExecSeconds(runs), overhead: h.OverheadFraction()}
+			for _, run := range runs {
+				p.moves += run.NodeMoves
+			}
+			return p, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for i, period := range periods {
 		label := period.String()
-		r.Set("exec/vprobe", label, exec)
-		r.Set("overhead/vprobe", label, h.OverheadFraction())
-		t.AddRow(label, fmt.Sprintf("%.2f", exec),
-			fmt.Sprintf("%.5f%%", 100*h.OverheadFraction()), fmt.Sprintf("%d", moves))
+		r.Set("exec/vprobe", label, points[i].exec)
+		r.Set("overhead/vprobe", label, points[i].overhead)
+		t.AddRow(label, fmt.Sprintf("%.2f", points[i].exec),
+			fmt.Sprintf("%.5f%%", 100*points[i].overhead), fmt.Sprintf("%d", points[i].moves))
 	}
 	t.AddNote("paper: execution time minimized at a 1s period")
 	r.Tables = append(r.Tables, t)
@@ -103,7 +121,7 @@ func buildStandardVMs(h *xen.Hypervisor, apps1, apps2 []*workload.Profile, opts 
 
 // runTable1 renders the platform description (paper Table I) from the
 // topology preset, verifying the encoded machine matches the paper.
-func runTable1(opts Options) (*Result, error) {
+func runTable1(_ context.Context, opts Options) (*Result, error) {
 	top := numa.XeonE5620()
 	r := &Result{ID: "table1", Title: "Platform configuration (paper Table I)"}
 	t := metrics.NewTable("Table I", "item", "value")
@@ -125,34 +143,46 @@ func runTable1(opts Options) (*Result, error) {
 // runTable3 reproduces §V-C1: the percentage of "overhead time" (PMU
 // collection + periodical partitioning) in total execution time, for one to
 // four VMs each running two soplex instances on two VCPUs.
-func runTable3(opts Options) (*Result, error) {
+func runTable3(ctx context.Context, opts Options) (*Result, error) {
 	opts = opts.normalized()
 	r := &Result{ID: "table3", Title: "vProbe overhead time (paper Table III)"}
 	t := metrics.NewTable("Table III", "VMs", "overhead-time %")
-	for n := 1; n <= 4; n++ {
-		pol := sched.NewVProbe()
-		cfg := xen.DefaultConfig()
-		cfg.Seed = opts.Seed
-		h := xen.New(numa.XeonE5620(), pol, cfg)
-		var doms []*xen.Domain
-		for i := 0; i < n; i++ {
-			d, err := h.CreateDomain(fmt.Sprintf("VM%d", i+1), 4*1024, 2, mem.PolicyStripe)
-			if err != nil {
-				return nil, err
-			}
-			for j := 0; j < 2; j++ {
-				p := workload.Soplex().Clone()
-				p.TotalInstructions *= opts.Scale
-				if _, err := h.AttachApp(d, j, p); err != nil {
-					return nil, err
+	const counts = 4
+	fracs, err := harness.Map(ctx, harness.Workers(opts.Workers, counts), counts,
+		func(ctx context.Context, idx int) (float64, error) {
+			n := idx + 1
+			pol := sched.NewVProbe()
+			cfg := xen.DefaultConfig()
+			cfg.Seed = opts.Seed
+			h := xen.New(numa.XeonE5620(), pol, cfg)
+			var doms []*xen.Domain
+			for i := 0; i < n; i++ {
+				d, err := h.CreateDomain(fmt.Sprintf("VM%d", i+1), 4*1024, 2, mem.PolicyStripe)
+				if err != nil {
+					return 0, err
 				}
+				for j := 0; j < 2; j++ {
+					p := workload.Soplex().Clone()
+					p.TotalInstructions *= opts.Scale
+					if _, err := h.AttachApp(d, j, p); err != nil {
+						return 0, err
+					}
+				}
+				doms = append(doms, d)
 			}
-			doms = append(doms, d)
-		}
-		h.WatchDomains(doms...)
-		h.Run(opts.Horizon)
-		frac := h.OverheadFraction()
-		label := fmt.Sprintf("%d", n)
+			h.WatchDomains(doms...)
+			end, err := h.RunContext(ctx, opts.Horizon)
+			if err != nil {
+				return 0, fmt.Errorf("%d VMs: %w", n, err)
+			}
+			opts.emitScenario(fmt.Sprintf("vms/%d", n), end)
+			return h.OverheadFraction(), nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for idx, frac := range fracs {
+		label := fmt.Sprintf("%d", idx+1)
 		r.Set("overhead/vprobe", label, 100*frac)
 		t.AddRow(label, fmt.Sprintf("%.5f", 100*frac))
 	}
@@ -166,18 +196,18 @@ func init() {
 		ID:    "fig8",
 		Title: "Sampling-period sensitivity",
 		Paper: "Fig. 8: U-shaped execution time, minimum at 1 s",
-		Run:   runFig8,
+		run:   runFig8,
 	})
 	register(&Experiment{
 		ID:    "table1",
 		Title: "Platform configuration",
 		Paper: "Table I: 2x quad-core Xeon E5620, 12 MB L3/socket, 12 GB/node, 2 QPI links",
-		Run:   runTable1,
+		run:   runTable1,
 	})
 	register(&Experiment{
 		ID:    "table3",
 		Title: "Overhead time",
 		Paper: "Table III: overhead well below 0.1%, rising 1->3 VMs, dipping at 4",
-		Run:   runTable3,
+		run:   runTable3,
 	})
 }

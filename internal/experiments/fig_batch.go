@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
+	"vprobe/internal/harness"
 	"vprobe/internal/metrics"
 	"vprobe/internal/sched"
 	"vprobe/internal/sim"
@@ -23,23 +25,46 @@ type batchOut struct {
 // runSchedulers executes the standard scenario once per scheduler kind and
 // seed; same-seed runs across schedulers share the initial placement, so
 // per-seed normalization compares like with like.
-func runSchedulers(apps1, apps2 []*workload.Profile, opts Options) (map[sched.Kind]batchOut, error) {
-	out := make(map[sched.Kind]batchOut, len(opts.Schedulers))
-	for _, k := range opts.Schedulers {
-		var b batchOut
-		for r := 0; r < opts.Repeats; r++ {
+//
+// The (scheduler, seed) grid is fanned out across opts.Workers simulations
+// at a time. Each run's seed derives from (opts.Seed, repeat index) only,
+// and results are assembled in grid order, so the output is identical at
+// every worker count. label prefixes progress-event scenario names.
+func runSchedulers(ctx context.Context, label string, apps1, apps2 []*workload.Profile, opts Options) (map[sched.Kind]batchOut, error) {
+	n := len(opts.Schedulers) * opts.Repeats
+	flat, err := harness.Map(ctx, harness.Workers(opts.Workers, n), n,
+		func(ctx context.Context, i int) (seedOut, error) {
+			k := opts.Schedulers[i/opts.Repeats]
+			r := i % opts.Repeats
 			ropts := opts
 			ropts.Seed = opts.Seed + uint64(r)
 			sc, err := newScenario(k, apps1, apps2, ropts)
 			if err != nil {
-				return nil, fmt.Errorf("%s: %w", k, err)
+				return seedOut{}, fmt.Errorf("%s: %w", k, err)
 			}
-			runs, end := sc.runMeasured(ropts)
-			b.seeds = append(b.seeds, seedOut{runs: runs, end: end})
-		}
-		out[k] = b
+			runs, end, err := sc.runMeasured(ctx, ropts)
+			if err != nil {
+				return seedOut{}, fmt.Errorf("%s/seed%d: %w", k, r, err)
+			}
+			opts.emitScenario(scenarioName(label, string(k), r), end)
+			return seedOut{runs: runs, end: end}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[sched.Kind]batchOut, len(opts.Schedulers))
+	for ki, k := range opts.Schedulers {
+		out[k] = batchOut{seeds: flat[ki*opts.Repeats : (ki+1)*opts.Repeats]}
 	}
 	return out, nil
+}
+
+// scenarioName builds a progress-event label like "soplex/vprobe/seed0".
+func scenarioName(label, kind string, repeat int) string {
+	if label == "" {
+		return fmt.Sprintf("%s/seed%d", kind, repeat)
+	}
+	return fmt.Sprintf("%s/%s/seed%d", label, kind, repeat)
 }
 
 // baselineKind picks the normalization baseline: Credit when present.
@@ -166,13 +191,13 @@ func schedColumns(opts Options) []string {
 	return cols
 }
 
-func runFig4(opts Options) (*Result, error) {
+func runFig4(ctx context.Context, opts Options) (*Result, error) {
 	opts = opts.normalized()
 	r := &Result{ID: "fig4", Title: "SPEC CPU2006 under five schedulers (paper Fig. 4)"}
 	outs := map[string]map[sched.Kind]batchOut{}
 	var labels []string
 	for _, w := range specWorkloads() {
-		m, err := runSchedulers(w.Apps1, w.Apps2, opts)
+		m, err := runSchedulers(ctx, w.Name, w.Apps1, w.Apps2, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -183,13 +208,13 @@ func runFig4(opts Options) (*Result, error) {
 	return r, nil
 }
 
-func runFig5(opts Options) (*Result, error) {
+func runFig5(ctx context.Context, opts Options) (*Result, error) {
 	opts = opts.normalized()
 	r := &Result{ID: "fig5", Title: "NPB (4 threads) under five schedulers (paper Fig. 5)"}
 	outs := map[string]map[sched.Kind]batchOut{}
 	var labels []string
 	for _, w := range npbWorkloads() {
-		m, err := runSchedulers(replicate(w.App, 4), replicate(w.App, 4), opts)
+		m, err := runSchedulers(ctx, w.Name, replicate(w.App, 4), replicate(w.App, 4), opts)
 		if err != nil {
 			return nil, err
 		}
@@ -206,7 +231,7 @@ func runFig5(opts Options) (*Result, error) {
 // from a remote node at least once per analysis window); the access-level
 // ratio is included as a note column. See DESIGN.md for why the paper's
 // >80% figures imply the page-level reading.
-func runFig1(opts Options) (*Result, error) {
+func runFig1(ctx context.Context, opts Options) (*Result, error) {
 	opts = opts.normalized()
 	r := &Result{ID: "fig1", Title: "Remote memory access ratio under Credit (paper Fig. 1)"}
 	t := metrics.NewTable("Fig. 1", "workload", "page-remote", "access-remote")
@@ -223,17 +248,30 @@ func runFig1(opts Options) (*Result, error) {
 		{"milc", replicate(workload.Milc(), 4), replicate(workload.Milc(), 4)},
 		{"libquantum", replicate(workload.Libquantum(), 4), replicate(workload.Libquantum(), 4)},
 	}
-	for _, w := range ws {
-		sc, err := newScenario(sched.KindCredit, w.apps1, w.apps2, opts)
-		if err != nil {
-			return nil, err
-		}
-		runs, _ := sc.runMeasured(opts)
-		page := metrics.AvgPageRemoteRatio(runs)
-		access := metrics.AvgRemoteRatio(runs)
-		r.Set("page-remote/credit", w.name, page)
-		r.Set("access-remote/credit", w.name, access)
-		t.AddRow(w.name, metrics.Pct(page), metrics.Pct(access))
+	type ratios struct{ page, access float64 }
+	rows, err := harness.Map(ctx, harness.Workers(opts.Workers, len(ws)), len(ws),
+		func(ctx context.Context, i int) (ratios, error) {
+			sc, err := newScenario(sched.KindCredit, ws[i].apps1, ws[i].apps2, opts)
+			if err != nil {
+				return ratios{}, err
+			}
+			runs, end, err := sc.runMeasured(ctx, opts)
+			if err != nil {
+				return ratios{}, fmt.Errorf("%s: %w", ws[i].name, err)
+			}
+			opts.emitScenario(ws[i].name+"/credit", end)
+			return ratios{
+				page:   metrics.AvgPageRemoteRatio(runs),
+				access: metrics.AvgRemoteRatio(runs),
+			}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for i, w := range ws {
+		r.Set("page-remote/credit", w.name, rows[i].page)
+		r.Set("access-remote/credit", w.name, rows[i].access)
+		t.AddRow(w.name, metrics.Pct(rows[i].page), metrics.Pct(rows[i].access))
 	}
 	t.AddNote("paper: all > 80%% except soplex (77.41%%)")
 	r.Tables = append(r.Tables, t)
@@ -245,18 +283,18 @@ func init() {
 		ID:    "fig1",
 		Title: "Remote memory access ratio under Credit",
 		Paper: "Fig. 1: >80% remote ratio for memory-intensive apps (soplex 77.41%)",
-		Run:   runFig1,
+		run:   runFig1,
 	})
 	register(&Experiment{
 		ID:    "fig4",
 		Title: "SPEC CPU2006 comparison",
 		Paper: "Fig. 4: vProbe best everywhere; soplex +32.5% vs Credit; BRM <= Credit",
-		Run:   runFig4,
+		run:   runFig4,
 	})
 	register(&Experiment{
 		ID:    "fig5",
 		Title: "NPB comparison",
 		Paper: "Fig. 5: vProbe best; sp +45.2% vs Credit; LB total accesses rise on bt/lu/sp",
-		Run:   runFig5,
+		run:   runFig5,
 	})
 }

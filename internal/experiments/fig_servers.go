@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"vprobe/internal/metrics"
@@ -18,7 +19,7 @@ const memcachedRequestTarget = 250000
 // runFig6 reproduces the memcached experiment: eight server worker threads
 // in VM1 and VM2 each, concurrency swept 16..112, execution time of a
 // fixed request batch reported (normalized to Credit).
-func runFig6(opts Options) (*Result, error) {
+func runFig6(ctx context.Context, opts Options) (*Result, error) {
 	opts = opts.normalized()
 	r := &Result{ID: "fig6", Title: "Memcached under five schedulers (paper Fig. 6)"}
 	var labels []string
@@ -28,7 +29,7 @@ func runFig6(opts Options) (*Result, error) {
 		labels = append(labels, label)
 		prof := workload.Memcached(conc)
 		prof.TotalInstructions = memcachedRequestTarget * prof.InstrPerRequest
-		m, err := runSchedulers(replicate(prof, 8), replicate(prof, 8), opts)
+		m, err := runSchedulers(ctx, "memcached-"+label, replicate(prof, 8), replicate(prof, 8), opts)
 		if err != nil {
 			return nil, err
 		}
@@ -42,7 +43,7 @@ func runFig6(opts Options) (*Result, error) {
 // measurement runs for; throughput is requests served per second over a
 // fixed window (the paper fixes total requests instead — equivalent up to
 // the metric's units).
-func runFig7(opts Options) (*Result, error) {
+func runFig7(ctx context.Context, opts Options) (*Result, error) {
 	opts = opts.normalized()
 	r := &Result{ID: "fig7", Title: "Redis under five schedulers (paper Fig. 7)"}
 
@@ -65,7 +66,7 @@ func runFig7(opts Options) (*Result, error) {
 		clients := replicate(redisClient(), 4)
 		wopts := opts
 		wopts.Horizon = window
-		m, err := runSchedulers(replicate(server, 4), clients, wopts)
+		m, err := runSchedulers(ctx, "redis-"+label, replicate(server, 4), clients, wopts)
 		if err != nil {
 			return nil, err
 		}
@@ -146,12 +147,12 @@ func init() {
 		ID:    "fig6",
 		Title: "Memcached concurrency sweep",
 		Paper: "Fig. 6: vProbe best; peak +31.3% at 80 calls; LB>VCPU-P at 16-32, crossover after",
-		Run:   runFig6,
+		run:   runFig6,
 	})
 	register(&Experiment{
 		ID:    "fig7",
 		Title: "Redis connection sweep",
 		Paper: "Fig. 7: vProbe best; +26.0% at 2000 conns; VCPU-P > LB throughout",
-		Run:   runFig7,
+		run:   runFig7,
 	})
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"vprobe/internal/mem"
@@ -88,10 +89,14 @@ func newScenario(kind sched.Kind, apps1, apps2 []*workload.Profile, opts Options
 
 // runMeasured runs the scenario until VM1 finishes (batch workloads) or
 // the horizon (servers), returning VM1's per-app runs and the stop time.
-func (s *scenario) runMeasured(opts Options) ([]metrics.AppRun, sim.Time) {
+// Cancelling ctx aborts the simulation promptly with the context's error.
+func (s *scenario) runMeasured(ctx context.Context, opts Options) ([]metrics.AppRun, sim.Time, error) {
 	s.H.WatchDomains(s.VM1)
-	end := s.H.Run(opts.Horizon)
-	return metrics.CollectDomain(s.VM1, end), end
+	end, err := s.H.RunContext(ctx, opts.Horizon)
+	if err != nil {
+		return nil, end, err
+	}
+	return metrics.CollectDomain(s.VM1, end), end, nil
 }
 
 // padGuestIdle appends guest-housekeeping profiles so the VM's remaining

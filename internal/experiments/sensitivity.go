@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
+	"vprobe/internal/harness"
 	"vprobe/internal/metrics"
 	"vprobe/internal/numa"
 	"vprobe/internal/sched"
@@ -14,7 +16,7 @@ import (
 // the paper's (3, 20) operating point on the mix workload. §IV-A notes
 // that moving either bound changes how many VCPUs land in LLC-T / LLC-FI
 // and thereby what the partitioner does; this experiment quantifies that.
-func runBoundsSensitivity(opts Options) (*Result, error) {
+func runBoundsSensitivity(ctx context.Context, opts Options) (*Result, error) {
 	opts = opts.normalized()
 	r := &Result{ID: "sensitivity-bounds", Title: "Sensitivity: classification bounds (low, high)"}
 	t := metrics.NewTable(r.Title, "low", "high", "exec(s)", "remote")
@@ -29,9 +31,12 @@ func runBoundsSensitivity(opts Options) (*Result, error) {
 		{1, 100}, // one class: everything LLC-FI
 		{20, 25}, // only extreme thrashers partitioned
 	}
-	for _, pt := range points {
-		var execs, remotes []float64
-		for rep := 0; rep < opts.Repeats; rep++ {
+	type cell struct{ exec, remote float64 }
+	n := len(points) * opts.Repeats
+	cells, err := harness.Map(ctx, harness.Workers(opts.Workers, n), n,
+		func(ctx context.Context, i int) (cell, error) {
+			pt := points[i/opts.Repeats]
+			rep := i % opts.Repeats
 			pol := sched.NewVProbe()
 			pol.Analyzer.Bounds.Low = pt.low
 			pol.Analyzer.Bounds.High = pt.high
@@ -40,11 +45,26 @@ func runBoundsSensitivity(opts Options) (*Result, error) {
 			h := xen.New(numa.XeonE5620(), pol, cfg)
 			sc, err := buildStandardVMs(h, mixApps(), mixApps(), opts)
 			if err != nil {
-				return nil, err
+				return cell{}, err
 			}
-			runs, _ := sc.runMeasured(opts)
-			execs = append(execs, metrics.AvgExecSeconds(runs))
-			remotes = append(remotes, metrics.AvgRemoteRatio(runs))
+			runs, end, err := sc.runMeasured(ctx, opts)
+			if err != nil {
+				return cell{}, fmt.Errorf("bounds %g/%g seed%d: %w", pt.low, pt.high, rep, err)
+			}
+			opts.emitScenario(fmt.Sprintf("bounds-%g-%g/seed%d", pt.low, pt.high, rep), end)
+			return cell{
+				exec:   metrics.AvgExecSeconds(runs),
+				remote: metrics.AvgRemoteRatio(runs),
+			}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for pi, pt := range points {
+		var execs, remotes []float64
+		for _, c := range cells[pi*opts.Repeats : (pi+1)*opts.Repeats] {
+			execs = append(execs, c.exec)
+			remotes = append(remotes, c.remote)
 		}
 		exec := sim.Mean(execs)
 		label := fmt.Sprintf("%g/%g", pt.low, pt.high)
@@ -63,6 +83,6 @@ func init() {
 		ID:    "sensitivity-bounds",
 		Title: "Bound sensitivity sweep",
 		Paper: "§IV-A: changing low/high shifts VCPUs between classes and changes partitioning",
-		Run:   runBoundsSensitivity,
+		run:   runBoundsSensitivity,
 	})
 }

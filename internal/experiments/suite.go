@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"vprobe/internal/harness"
+	"vprobe/internal/sim"
+)
+
+// SuiteItem is one experiment's outcome inside a RunSuite call.
+type SuiteItem struct {
+	Experiment *Experiment
+	// Result is nil when the experiment failed or was cancelled.
+	Result *Result
+	Err    error
+	// Wall is the experiment's wall-clock duration (zero when it never
+	// started because the suite was already cancelled).
+	Wall time.Duration
+	// SimTime totals the virtual time of all simulations the experiment
+	// ran, as reported by its scenario-finished events.
+	SimTime sim.Duration
+}
+
+// RunSuite runs the named experiments (all registered ones when ids is
+// empty) across a bounded worker pool and returns one SuiteItem per
+// experiment, in request order.
+//
+// Unlike Experiment.RunContext, a failing experiment does not abort its
+// siblings: the failure lands in its SuiteItem.Err and the rest keep
+// running. Cancelling ctx stops everything promptly; experiments that never
+// started carry the context's error. opts.Timeout, when set, caps each
+// experiment's wall-clock time individually.
+//
+// Results are deterministic in (opts.Seed, opts.Scale): worker count and
+// completion order never influence them, only how fast they arrive.
+// Progress events flow to opts.Events tagged with the experiment id.
+func RunSuite(ctx context.Context, ids []string, opts Options) ([]SuiteItem, error) {
+	if len(ids) == 0 {
+		ids = IDs()
+	}
+	exps := make([]*Experiment, len(ids))
+	for i, id := range ids {
+		e, err := ByID(id)
+		if err != nil {
+			return nil, err
+		}
+		exps[i] = e
+	}
+
+	items := make([]SuiteItem, len(exps))
+	for i, e := range exps {
+		items[i] = SuiteItem{Experiment: e}
+	}
+
+	workers := harness.Workers(opts.Workers, len(exps))
+	emit := func(ev harness.Event) {
+		if opts.Events != nil {
+			opts.Events.Emit(ev)
+		}
+	}
+	suiteStart := time.Now()
+	emit(harness.Event{Kind: harness.EventSuiteStarted, Jobs: len(exps), Workers: workers})
+
+	// Each worker slot runs one experiment at a time; the experiment's own
+	// internal fan-out shares opts.Workers, so memory stays bounded by the
+	// worker budget at each level. Errors are captured per item — the
+	// callback never fails — so one broken experiment cannot cancel its
+	// siblings through Map's first-error propagation.
+	_, err := harness.Map(ctx, opts.Workers, len(exps),
+		func(ctx context.Context, i int) (struct{}, error) {
+			e := exps[i]
+			runCtx := ctx
+			var cancel context.CancelFunc
+			if opts.Timeout > 0 {
+				runCtx, cancel = context.WithTimeout(ctx, opts.Timeout)
+				defer cancel()
+			}
+
+			// Tag this experiment's events with its id and accumulate its
+			// total simulated time from scenario completions.
+			var simMicros atomic.Int64
+			ropts := opts
+			ropts.Events = harness.SinkFunc(func(ev harness.Event) {
+				ev.Experiment = e.ID
+				if ev.Kind == harness.EventScenarioFinished {
+					simMicros.Add(ev.SimMicros)
+				}
+				emit(ev)
+			})
+
+			emit(harness.Event{Kind: harness.EventExperimentStarted, Experiment: e.ID})
+			start := time.Now()
+			res, err := e.run(runCtx, ropts)
+			wall := time.Since(start)
+
+			items[i].Result = res
+			items[i].Err = err
+			items[i].Wall = wall
+			items[i].SimTime = sim.Duration(simMicros.Load())
+
+			fin := harness.Event{
+				Kind:       harness.EventExperimentFinished,
+				Experiment: e.ID,
+				Wall:       wall,
+				SimMicros:  simMicros.Load(),
+			}
+			if err != nil {
+				fin.Err = err.Error()
+			}
+			emit(fin)
+			return struct{}{}, nil
+		})
+
+	// Experiments skipped by cancellation carry the context's error.
+	for i := range items {
+		if items[i].Result == nil && items[i].Err == nil {
+			if cerr := ctx.Err(); cerr != nil {
+				items[i].Err = fmt.Errorf("experiments: %s did not run: %w",
+					items[i].Experiment.ID, cerr)
+			}
+		}
+	}
+	emit(harness.Event{Kind: harness.EventSuiteFinished,
+		Jobs: len(exps), Workers: workers, Wall: time.Since(suiteStart)})
+	return items, err
+}

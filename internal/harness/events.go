@@ -1,0 +1,132 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// EventKind labels a harness progress event.
+type EventKind string
+
+// Progress event kinds, in the order a suite run emits them.
+const (
+	// EventSuiteStarted opens a suite run; Jobs and Workers are set.
+	EventSuiteStarted EventKind = "suite-started"
+	// EventExperimentStarted marks one experiment entering a worker.
+	EventExperimentStarted EventKind = "experiment-started"
+	// EventScenarioFinished reports one completed simulation inside an
+	// experiment; SimMicros carries the scenario's virtual end time.
+	EventScenarioFinished EventKind = "scenario-finished"
+	// EventExperimentFinished carries the experiment's wall time and the
+	// total virtual time it simulated (Err is set on failure).
+	EventExperimentFinished EventKind = "experiment-finished"
+	// EventSuiteFinished closes the run with the suite's total wall time.
+	EventSuiteFinished EventKind = "suite-finished"
+)
+
+// Event is one structured progress record. Events describe execution
+// progress only — experiment results never flow through them — so the
+// wall-clock fields do not threaten result determinism.
+type Event struct {
+	Kind       EventKind `json:"kind"`
+	Experiment string    `json:"experiment,omitempty"`
+	// Scenario names one simulation inside an experiment, e.g.
+	// "vprobe/seed2" or "period/1.000s".
+	Scenario string `json:"scenario,omitempty"`
+	// Jobs and Workers describe the fan-out (suite events only).
+	Jobs    int `json:"jobs,omitempty"`
+	Workers int `json:"workers,omitempty"`
+	// Wall is elapsed wall-clock time (finished events).
+	Wall time.Duration `json:"wall_ns,omitempty"`
+	// SimMicros is virtual time simulated, in microseconds.
+	SimMicros int64 `json:"sim_micros,omitempty"`
+	// Err carries the failure message of a finished job, if any.
+	Err string `json:"err,omitempty"`
+}
+
+// Throughput returns simulated seconds per wall-clock second (0 when
+// either quantity is missing).
+func (ev Event) Throughput() float64 {
+	if ev.Wall <= 0 || ev.SimMicros <= 0 {
+		return 0
+	}
+	return (float64(ev.SimMicros) / 1e6) / ev.Wall.Seconds()
+}
+
+// Sink consumes progress events. Implementations must be safe for
+// concurrent use: workers emit from their own goroutines.
+type Sink interface {
+	Emit(Event)
+}
+
+// SinkFunc adapts a function to Sink. The function must be safe for
+// concurrent use.
+type SinkFunc func(Event)
+
+// Emit calls f.
+func (f SinkFunc) Emit(ev Event) { f(ev) }
+
+// Multi fans every event out to each sink in order.
+func Multi(sinks ...Sink) Sink {
+	return SinkFunc(func(ev Event) {
+		for _, s := range sinks {
+			s.Emit(ev)
+		}
+	})
+}
+
+// JSONL writes events as JSON Lines — one self-contained object per event —
+// the format the `-out` export of cmd/vprobe-sim produces for downstream
+// tooling. A mutex serializes concurrent emitters.
+type JSONL struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// NewJSONL returns a JSONL sink writing to w.
+func NewJSONL(w io.Writer) *JSONL {
+	return &JSONL{enc: json.NewEncoder(w)}
+}
+
+// Emit writes one JSON line. Encoding errors are swallowed: progress export
+// must never fail a simulation run.
+func (j *JSONL) Emit(ev Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	_ = j.enc.Encode(ev)
+}
+
+// Console renders experiment-level events as single human-readable progress
+// lines (scenario-level events are dropped to keep the output short).
+type Console struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewConsole returns a console sink writing to w.
+func NewConsole(w io.Writer) *Console { return &Console{w: w} }
+
+// Emit prints one progress line per experiment start/finish.
+func (c *Console) Emit(ev Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch ev.Kind {
+	case EventSuiteStarted:
+		fmt.Fprintf(c.w, "running %d experiments on %d workers\n", ev.Jobs, ev.Workers)
+	case EventExperimentStarted:
+		fmt.Fprintf(c.w, "[%s] started\n", ev.Experiment)
+	case EventExperimentFinished:
+		if ev.Err != "" {
+			fmt.Fprintf(c.w, "[%s] FAILED after %.1fs: %s\n",
+				ev.Experiment, ev.Wall.Seconds(), ev.Err)
+			return
+		}
+		fmt.Fprintf(c.w, "[%s] done in %.1fs (simulated %.0fs, %.0fx real-time)\n",
+			ev.Experiment, ev.Wall.Seconds(), float64(ev.SimMicros)/1e6, ev.Throughput())
+	case EventSuiteFinished:
+		fmt.Fprintf(c.w, "suite finished in %.1fs\n", ev.Wall.Seconds())
+	}
+}

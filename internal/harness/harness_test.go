@@ -1,0 +1,228 @@
+package harness
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestMapOrderIndependent asserts the core determinism property: results
+// land at their input index no matter how many workers run or in what
+// order jobs finish.
+func TestMapOrderIndependent(t *testing.T) {
+	const n = 64
+	for _, workers := range []int{1, 2, 4, 16, 0} {
+		out, err := Map(context.Background(), workers, n,
+			func(_ context.Context, i int) (int, error) {
+				if i%3 == 0 {
+					runtime.Gosched() // shuffle completion order
+				}
+				return i * i, nil
+			})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+// TestMapErrorPreferred asserts a real job failure is reported even when
+// the cancellation it triggers marks other jobs with context errors.
+func TestMapErrorPreferred(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		_, err := Map(context.Background(), workers, 32,
+			func(ctx context.Context, i int) (int, error) {
+				if i == 5 {
+					return 0, fmt.Errorf("job %d: %w", i, boom)
+				}
+				return i, nil
+			})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err = %v, want wrapped boom", workers, err)
+		}
+	}
+}
+
+// TestMapCancelledParent asserts a pre-cancelled context stops the fan-out
+// without running jobs.
+func TestMapCancelledParent(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	for _, workers := range []int{1, 4} {
+		_, err := Map(ctx, workers, 16, func(_ context.Context, i int) (int, error) {
+			ran.Add(1)
+			return i, nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("%d jobs ran under a cancelled context", ran.Load())
+	}
+}
+
+// TestMapCancelMidFlight asserts cancellation reaches jobs through the
+// context Map passes them.
+func TestMapCancelMidFlight(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	_, err := Map(ctx, 4, 16, func(jobCtx context.Context, i int) (int, error) {
+		if started.Add(1) == 1 {
+			cancel()
+		}
+		<-jobCtx.Done()
+		return 0, jobCtx.Err()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if w := Workers(0, 100); w != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0, 100) = %d, want GOMAXPROCS", w)
+	}
+	if w := Workers(-3, 100); w != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3, 100) = %d, want GOMAXPROCS", w)
+	}
+	if w := Workers(8, 3); w != 3 {
+		t.Errorf("Workers(8, 3) = %d, want 3", w)
+	}
+	if w := Workers(2, 100); w != 2 {
+		t.Errorf("Workers(2, 100) = %d, want 2", w)
+	}
+	if w := Workers(5, 0); w != 1 {
+		t.Errorf("Workers(5, 0) = %d, want 1", w)
+	}
+}
+
+func TestDeriveSeed(t *testing.T) {
+	a := DeriveSeed(1, "fig4", "soplex")
+	if a != DeriveSeed(1, "fig4", "soplex") {
+		t.Fatal("DeriveSeed not stable")
+	}
+	if a == DeriveSeed(1, "fig4", "milc") {
+		t.Fatal("label change did not change seed")
+	}
+	if a == DeriveSeed(2, "fig4", "soplex") {
+		t.Fatal("root change did not change seed")
+	}
+	// ("ab","c") and ("a","bc") must differ: the separator is load-bearing.
+	if DeriveSeed(1, "ab", "c") == DeriveSeed(1, "a", "bc") {
+		t.Fatal("label boundaries not separated")
+	}
+	for root := uint64(0); root < 1000; root++ {
+		if DeriveSeed(root) == 0 {
+			t.Fatalf("DeriveSeed(%d) = 0", root)
+		}
+	}
+}
+
+// TestJSONLConcurrent asserts concurrent emitters produce whole lines, each
+// valid JSON.
+func TestJSONLConcurrent(t *testing.T) {
+	var buf strings.Builder
+	var mu sync.Mutex
+	sink := NewJSONL(syncWriter{&mu, &buf})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				sink.Emit(Event{Kind: EventScenarioFinished,
+					Scenario: fmt.Sprintf("g%d/%d", g, i), SimMicros: int64(i)})
+			}
+		}(g)
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 400 {
+		t.Fatalf("got %d lines, want 400", len(lines))
+	}
+	for _, line := range lines {
+		var ev Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("bad line %q: %v", line, err)
+		}
+		if ev.Kind != EventScenarioFinished {
+			t.Fatalf("bad kind %q", ev.Kind)
+		}
+	}
+}
+
+type syncWriter struct {
+	mu *sync.Mutex
+	w  *strings.Builder
+}
+
+func (s syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}
+
+func TestMultiFansOut(t *testing.T) {
+	var a, b []EventKind
+	sink := Multi(
+		SinkFunc(func(ev Event) { a = append(a, ev.Kind) }),
+		SinkFunc(func(ev Event) { b = append(b, ev.Kind) }),
+	)
+	sink.Emit(Event{Kind: EventSuiteStarted})
+	sink.Emit(Event{Kind: EventSuiteFinished})
+	if len(a) != 2 || len(b) != 2 || a[0] != EventSuiteStarted || b[1] != EventSuiteFinished {
+		t.Fatalf("fan-out wrong: a=%v b=%v", a, b)
+	}
+}
+
+func TestConsoleRendering(t *testing.T) {
+	var buf strings.Builder
+	c := NewConsole(&buf)
+	c.Emit(Event{Kind: EventSuiteStarted, Jobs: 3, Workers: 2})
+	c.Emit(Event{Kind: EventExperimentStarted, Experiment: "fig4"})
+	c.Emit(Event{Kind: EventScenarioFinished, Scenario: "noise"}) // dropped
+	c.Emit(Event{Kind: EventExperimentFinished, Experiment: "fig4",
+		Wall: 2 * time.Second, SimMicros: 40e6})
+	c.Emit(Event{Kind: EventExperimentFinished, Experiment: "fig5",
+		Wall: time.Second, Err: "bad"})
+	c.Emit(Event{Kind: EventSuiteFinished, Wall: 3 * time.Second})
+	out := buf.String()
+	for _, want := range []string{
+		"running 3 experiments on 2 workers",
+		"[fig4] started",
+		"[fig4] done in 2.0s (simulated 40s, 20x real-time)",
+		"[fig5] FAILED after 1.0s: bad",
+		"suite finished in 3.0s",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "noise") {
+		t.Error("scenario event leaked into console output")
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	ev := Event{Wall: 2 * time.Second, SimMicros: 10e6}
+	if got := ev.Throughput(); got != 5 {
+		t.Fatalf("Throughput = %v, want 5", got)
+	}
+	if (Event{}).Throughput() != 0 {
+		t.Fatal("empty event should report 0 throughput")
+	}
+}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 	"errors"
 	"fmt"
 )
@@ -167,13 +168,43 @@ func (e *Engine) Stop() { e.stopped = true }
 // means no limit.
 func (e *Engine) SetHorizon(t Time) { e.horizon = t }
 
+// interruptStride is how many events RunContext executes between context
+// polls: rare enough that the hot loop is unaffected, frequent enough that
+// cancellation lands within microseconds of wall time.
+const interruptStride = 4096
+
 // Run executes events in time order until the queue is empty, Stop is
 // called, or the horizon is reached. It returns the number of events fired
 // during this call.
 func (e *Engine) Run() uint64 {
+	n, _ := e.run(nil)
+	return n
+}
+
+// RunContext is Run with cooperative cancellation: every interruptStride
+// events the context is polled, and a cancelled context halts the run (as
+// if Stop had been called) and returns the context's error. A nil error
+// means the run ended for one of Run's normal reasons.
+func (e *Engine) RunContext(ctx context.Context) (uint64, error) {
+	return e.run(ctx)
+}
+
+func (e *Engine) run(ctx context.Context) (uint64, error) {
 	start := e.fired
 	e.stopped = false
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			e.stopped = true
+			return 0, err
+		}
+	}
 	for len(e.queue) > 0 && !e.stopped {
+		if ctx != nil && e.fired%interruptStride == 0 {
+			if err := ctx.Err(); err != nil {
+				e.stopped = true
+				return e.fired - start, err
+			}
+		}
 		ev := e.queue[0]
 		if e.horizon > 0 && ev.at > e.horizon {
 			e.now = e.horizon
@@ -190,19 +221,31 @@ func (e *Engine) Run() uint64 {
 		e.fired++
 		ev.fire(e)
 	}
-	return e.fired - start
+	return e.fired - start, nil
 }
 
 // RunUntil executes events with the clock bounded by t. If the event
 // supply ran dry before t (without an explicit Stop), the clock advances to
 // exactly t; after a Stop the clock stays where the stop happened.
 func (e *Engine) RunUntil(t Time) uint64 {
+	n, _ := e.runUntil(nil, t)
+	return n
+}
+
+// RunUntilContext is RunUntil with the cancellation semantics of
+// RunContext. On cancellation the clock stays wherever the run was
+// interrupted.
+func (e *Engine) RunUntilContext(ctx context.Context, t Time) (uint64, error) {
+	return e.runUntil(ctx, t)
+}
+
+func (e *Engine) runUntil(ctx context.Context, t Time) (uint64, error) {
 	prev := e.horizon
 	e.SetHorizon(t)
-	n := e.Run()
+	n, err := e.run(ctx)
 	if e.now < t && !e.stopped {
 		e.now = t
 	}
 	e.horizon = prev
-	return n
+	return n, err
 }

@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// selfFeeding schedules an event chain that never drains, so only
+// cancellation (or a horizon) can stop the run.
+func selfFeeding(e *Engine) {
+	var tick func(*Engine)
+	tick = func(e *Engine) { e.Schedule(Microsecond, "tick", tick) }
+	e.Schedule(Microsecond, "tick", tick)
+}
+
+func TestRunContextBackgroundMatchesRun(t *testing.T) {
+	a, b := NewEngine(), NewEngine()
+	for _, e := range []*Engine{a, b} {
+		n := 0
+		var count func(*Engine)
+		count = func(e *Engine) {
+			n++
+			if n < 100 {
+				e.Schedule(Millisecond, "count", count)
+			}
+		}
+		e.Schedule(Millisecond, "count", count)
+	}
+	fired := a.Run()
+	firedCtx, err := b.RunContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fired != firedCtx || a.Now() != b.Now() {
+		t.Fatalf("Run (%d events, now %v) != RunContext (%d events, now %v)",
+			fired, a.Now(), firedCtx, b.Now())
+	}
+}
+
+func TestRunContextCancelled(t *testing.T) {
+	e := NewEngine()
+	selfFeeding(e)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.RunContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestRunContextCancelMidRun cancels from a timer goroutine while the
+// engine spins on a self-feeding event chain; the run must return promptly
+// instead of spinning forever.
+func TestRunContextCancelMidRun(t *testing.T) {
+	e := NewEngine()
+	selfFeeding(e)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	done := make(chan error, 1)
+	go func() {
+		_, err := e.RunContext(ctx)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancellation did not stop the run")
+	}
+}
+
+func TestRunUntilContextDeadline(t *testing.T) {
+	e := NewEngine()
+	selfFeeding(e)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, err := e.RunUntilContext(ctx, Time(time.Hour/time.Microsecond))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestRunUntilContextBackgroundMatchesRunUntil(t *testing.T) {
+	a, b := NewEngine(), NewEngine()
+	horizon := Time(50 * Millisecond)
+	for _, e := range []*Engine{a, b} {
+		selfFeeding(e)
+	}
+	fired := a.RunUntil(horizon)
+	firedCtx, err := b.RunUntilContext(context.Background(), horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fired != firedCtx || a.Now() != b.Now() {
+		t.Fatalf("RunUntil (%d, %v) != RunUntilContext (%d, %v)",
+			fired, a.Now(), firedCtx, b.Now())
+	}
+}

@@ -1,6 +1,7 @@
 package xen
 
 import (
+	"context"
 	"fmt"
 
 	"vprobe/internal/mem"
@@ -10,6 +11,46 @@ import (
 	"vprobe/internal/sim"
 	"vprobe/internal/workload"
 )
+
+// EventKind labels a structured scheduling event.
+type EventKind string
+
+// Scheduling event kinds.
+const (
+	// EventDispatch: a VCPU starts a quantum on a PCPU.
+	EventDispatch EventKind = "dispatch"
+	// EventAppFinish: a VCPU's app completed all its work.
+	EventAppFinish EventKind = "app-finish"
+	// EventBlock: a VCPU blocked (timer, I/O, barrier, network wait).
+	EventBlock EventKind = "block"
+	// EventGuestMove: the guest OS parked a thread on another VCPU.
+	EventGuestMove EventKind = "guest-move"
+	// EventDomPause / EventDomResume / EventDomDestroy: domain lifecycle.
+	EventDomPause   EventKind = "domain-pause"
+	EventDomResume  EventKind = "domain-resume"
+	EventDomDestroy EventKind = "domain-destroy"
+)
+
+// Event is one structured scheduling trace record. The typed fields carry
+// machine-readable identities; Detail is the human-readable rendering (the
+// exact line the old string trace hook used to receive).
+type Event struct {
+	At   sim.Time
+	Kind EventKind
+	// VCPU is the subject VCPU, -1 when the event is not VCPU-scoped.
+	VCPU VCPUID
+	// CPU is the PCPU involved, -1 when none.
+	CPU numa.CPUID
+	// Node is the NUMA node involved, numa.NoNode when placement is not
+	// part of the event.
+	Node numa.NodeID
+	// App names the workload on the subject VCPU, when it has one.
+	App    string
+	Detail string
+}
+
+// String renders the event as a trace line.
+func (ev Event) String() string { return ev.Detail }
 
 // Hypervisor ties the machine model, the performance model, the domains,
 // and a scheduling policy into one simulation.
@@ -40,8 +81,10 @@ type Hypervisor struct {
 	watch   []*Domain
 	started bool
 
-	// TraceFn, when set, receives scheduling trace lines.
-	TraceFn func(t sim.Time, format string, args ...any)
+	// EventFn, when set, receives structured scheduling events. Emission
+	// (including Detail formatting) is skipped entirely when nil, so
+	// tracing is free when off.
+	EventFn func(Event)
 
 	placeCursor int
 }
@@ -67,10 +110,22 @@ func New(top *numa.Topology, policy Policy, cfg Config) *Hypervisor {
 	return h
 }
 
-func (h *Hypervisor) trace(format string, args ...any) {
-	if h.TraceFn != nil {
-		h.TraceFn(h.Engine.Now(), format, args...)
+// emit delivers a structured scheduling event. The Detail line is only
+// formatted when a listener is attached.
+func (h *Hypervisor) emit(kind EventKind, vcpu VCPUID, cpu numa.CPUID,
+	node numa.NodeID, app, format string, args ...any) {
+	if h.EventFn == nil {
+		return
 	}
+	h.EventFn(Event{
+		At:     h.Engine.Now(),
+		Kind:   kind,
+		VCPU:   vcpu,
+		CPU:    cpu,
+		Node:   node,
+		App:    app,
+		Detail: fmt.Sprintf(format, args...),
+	})
 }
 
 // CreateDomain builds a VM with the given memory size (allocated with the
@@ -409,7 +464,8 @@ func (h *Hypervisor) dispatch(p *PCPU, v *VCPU) {
 	if out.Used <= 0 {
 		out.Used = sim.Microsecond
 	}
-	h.trace("pcpu%d run vcpu%d (%s) %.1fms", p.ID, v.ID, v.App.Name, out.Used.Millis())
+	h.emit(EventDispatch, v.ID, p.ID, p.Node, v.App.Name,
+		"pcpu%d run vcpu%d (%s) %.1fms", p.ID, v.ID, v.App.Name, out.Used.Millis())
 	f := &flight{v: v, out: out, origCold: v.ColdLines, start: h.Engine.Now()}
 	f.ev = h.Engine.Schedule(out.Used, "quantum", func(*sim.Engine) {
 		h.endQuantum(p)
@@ -524,7 +580,8 @@ func (h *Hypervisor) endQuantum(p *PCPU) {
 		v.FinishTime = h.Engine.Now()
 		v.State = StateBlocked
 		v.OnPCPU = -1
-		h.trace("vcpu%d (%s) finished", v.ID, v.App.Name)
+		h.emit(EventAppFinish, v.ID, p.ID, p.Node, v.App.Name,
+			"vcpu%d (%s) finished", v.ID, v.App.Name)
 		h.checkWatch()
 	case !preempted && v.App.BlockProb > 0 && h.RNG.Float64() < v.App.BlockProb:
 		// The guest blocks (timer, I/O, barrier, network wait). The
@@ -536,7 +593,8 @@ func (h *Hypervisor) endQuantum(p *PCPU) {
 		if wait < sim.Microsecond {
 			wait = sim.Microsecond
 		}
-		h.trace("vcpu%d (%s) blocks %v", v.ID, v.App.Name, wait)
+		h.emit(EventBlock, v.ID, p.ID, p.Node, v.App.Name,
+			"vcpu%d (%s) blocks %v", v.ID, v.App.Name, wait)
 		h.Engine.Schedule(wait, "wake", func(*sim.Engine) { h.wake(v, p) })
 	default:
 		target := p
@@ -622,7 +680,8 @@ func (h *Hypervisor) swapGuestThreads(d *Domain) {
 	if ph := b.Phase(); ph != nil {
 		b.ColdLines = h.Perf.ColdLinesFor(ph)
 	}
-	h.trace("guest %s: thread %s moved vcpu%d -> vcpu%d", d.Name, b.App.Name, a.ID, b.ID)
+	h.emit(EventGuestMove, b.ID, -1, numa.NoNode, b.App.Name,
+		"guest %s: thread %s moved vcpu%d -> vcpu%d", d.Name, b.App.Name, a.ID, b.ID)
 }
 
 // finishFirstTouch settles an app's page placement at the end of its
@@ -719,13 +778,25 @@ func (h *Hypervisor) MigrateToNode(v *VCPU, node numa.NodeID) {
 // Run advances the simulation until the horizon or until watched domains
 // complete, and returns the stop time.
 func (h *Hypervisor) Run(horizon sim.Duration) sim.Time {
+	end, err := h.RunContext(context.Background(), horizon)
+	if err != nil {
+		panic(err) // background context never cancels; only Start can fail
+	}
+	return end
+}
+
+// RunContext is Run with cooperative cancellation: the engine polls ctx
+// periodically and a cancelled context halts the simulation, returning the
+// clock position the run was interrupted at together with the context's
+// error. Start errors are returned rather than panicking.
+func (h *Hypervisor) RunContext(ctx context.Context, horizon sim.Duration) (sim.Time, error) {
 	if !h.started {
 		if err := h.Start(); err != nil {
-			panic(err)
+			return h.Engine.Now(), err
 		}
 	}
-	h.Engine.RunUntil(sim.Time(horizon))
-	return h.Engine.Now()
+	_, err := h.Engine.RunUntilContext(ctx, sim.Time(horizon))
+	return h.Engine.Now(), err
 }
 
 // TotalBusyTime sums PCPU busy time (the Table III denominator).

@@ -33,7 +33,7 @@ func (h *Hypervisor) PauseDomain(d *Domain) error {
 		v.State = StateBlocked
 		v.paused = true
 	}
-	h.trace("domain %s paused", d.Name)
+	h.emit(EventDomPause, -1, -1, numa.NoNode, "", "domain %s paused", d.Name)
 	return nil
 }
 
@@ -60,7 +60,7 @@ func (h *Hypervisor) ResumeDomain(d *Domain) error {
 		h.enqueue(target, v)
 	}
 	h.kickIdle()
-	h.trace("domain %s resumed", d.Name)
+	h.emit(EventDomResume, -1, -1, numa.NoNode, "", "domain %s resumed", d.Name)
 	return nil
 }
 
@@ -78,7 +78,7 @@ func (h *Hypervisor) DestroyDomain(d *Domain) error {
 	}
 	d.Destroyed = true
 	h.Alloc.Release(d.MemDist, d.MemoryMB)
-	h.trace("domain %s destroyed", d.Name)
+	h.emit(EventDomDestroy, -1, -1, numa.NoNode, "", "domain %s destroyed", d.Name)
 	h.checkWatch()
 	return nil
 }

@@ -14,11 +14,21 @@
 //
 // # Quick start
 //
-//	sim, err := vprobe.NewSimulator(vprobe.Config{Scheduler: vprobe.SchedulerVProbe})
+//	sim, err := vprobe.NewSimulator(vprobe.Config{
+//		Scheduler: vprobe.SchedulerVProbe,
+//		Events: vprobe.EventFunc(func(ev vprobe.Event) {
+//			log.Printf("%v %s %s", ev.At, ev.Kind, ev.Detail)
+//		}),
+//	})
 //	vm, err := sim.AddVM(vprobe.VMConfig{Name: "vm1", MemoryMB: 8192, VCPUs: 8})
 //	err = vm.RunApp("soplex")
-//	report, err := sim.Run(60 * time.Second)
+//	report, err := sim.RunContext(ctx, 60*time.Second)
 //	fmt.Println(report)
+//
+// Run is RunContext without cancellation; configuration failures wrap the
+// package's sentinel errors (ErrUnknownTopology, ErrUnknownScheduler,
+// ErrNoFreeVCPU, ErrAlreadyStarted) for errors.Is. Server workloads start
+// with the typed VM.RunMemcached / VM.RunRedis helpers.
 //
 // # Layout
 //
@@ -36,6 +46,7 @@
 package vprobe
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -102,7 +113,13 @@ type Config struct {
 	DynamicBounds bool
 	// PageMigration enables the §VI page-migration extension.
 	PageMigration bool
-	// Trace receives scheduling trace lines when non-nil.
+	// Events receives structured scheduling events when non-nil.
+	Events EventSink
+	// Trace receives formatted scheduling trace lines when non-nil.
+	//
+	// Deprecated: Trace is the old string-based hook; it is served by a
+	// formatting adapter over Events (see TraceAdapter). New code should
+	// set Events instead.
 	Trace func(at time.Duration, line string)
 }
 
@@ -148,11 +165,11 @@ func NewSimulator(cfg Config) (*Simulator, error) {
 	}
 	mkTop, ok := numa.Presets[string(cfg.Topology)]
 	if !ok {
-		return nil, fmt.Errorf("vprobe: unknown topology %q", cfg.Topology)
+		return nil, fmt.Errorf("%w: %q", ErrUnknownTopology, cfg.Topology)
 	}
 	pol, err := sched.New(sched.Kind(cfg.Scheduler))
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %q", ErrUnknownScheduler, cfg.Scheduler)
 	}
 	if vp, ok := pol.(*sched.VProbe); ok {
 		if cfg.SamplePeriod > 0 {
@@ -170,11 +187,11 @@ func NewSimulator(cfg Config) (*Simulator, error) {
 	if cfg.PageMigration {
 		h.Migrator = mem.DefaultMigrator()
 	}
+	var trace EventSink
 	if cfg.Trace != nil {
-		h.TraceFn = func(t sim.Time, format string, args ...any) {
-			cfg.Trace(time.Duration(t)*time.Microsecond, fmt.Sprintf(format, args...))
-		}
+		trace = TraceAdapter(cfg.Trace)
 	}
+	h.EventFn = eventFanout(cfg.Events, trace)
 	return &Simulator{h: h, cfg: cfg, idleFlags: make(map[*xen.Domain]bool)}, nil
 }
 
@@ -189,10 +206,11 @@ type VM struct {
 	cfg VMConfig
 }
 
-// AddVM creates a VM. All VMs must be added before Run.
+// AddVM creates a VM. All VMs must be added before Run; afterwards the
+// call fails with ErrAlreadyStarted.
 func (s *Simulator) AddVM(cfg VMConfig) (*VM, error) {
 	if s.started {
-		return nil, fmt.Errorf("vprobe: AddVM after Run")
+		return nil, fmt.Errorf("%w: AddVM after Run", ErrAlreadyStarted)
 	}
 	pol := mem.PolicyFill
 	if cfg.Memory == MemStripe {
@@ -220,7 +238,7 @@ func (vm *VM) RunApp(name string) error {
 }
 
 // RunProfile starts an instance of an explicit profile on the next free
-// VCPU of the VM.
+// VCPU of the VM, failing with ErrNoFreeVCPU when every VCPU is taken.
 func (vm *VM) RunProfile(p *workload.Profile) error {
 	for i, v := range vm.d.VCPUs {
 		if v.App == nil {
@@ -228,17 +246,32 @@ func (vm *VM) RunProfile(p *workload.Profile) error {
 			return err
 		}
 	}
-	return fmt.Errorf("vprobe: VM %q has no free VCPUs", vm.cfg.Name)
+	return fmt.Errorf("%w: VM %q", ErrNoFreeVCPU, vm.cfg.Name)
+}
+
+// RunMemcached starts a memcached server profile driven at the given client
+// concurrency (the swept parameter of the paper's Fig. 6).
+func (vm *VM) RunMemcached(concurrency int) error {
+	return vm.RunProfile(workload.Memcached(concurrency))
+}
+
+// RunRedis starts a Redis server profile loaded with the given client
+// connection count (the swept parameter of the paper's Fig. 7).
+func (vm *VM) RunRedis(connections int) error {
+	return vm.RunProfile(workload.Redis(connections))
 }
 
 // RunServer starts a request-driven server profile ("memcached" with a
 // concurrency, "redis" with a connection count).
+//
+// Deprecated: the string dispatch survives for old callers only. Use the
+// typed RunMemcached or RunRedis instead.
 func (vm *VM) RunServer(kind string, load int) error {
 	switch kind {
 	case "memcached":
-		return vm.RunProfile(workload.Memcached(load))
+		return vm.RunMemcached(load)
 	case "redis":
-		return vm.RunProfile(workload.Redis(load))
+		return vm.RunRedis(load)
 	default:
 		return fmt.Errorf("vprobe: unknown server kind %q", kind)
 	}
@@ -260,21 +293,35 @@ func (vm *VM) fillGuestIdle() error {
 // stopping earlier if every finite app in every VM completes, and returns
 // the report.
 func (s *Simulator) Run(horizon time.Duration) (*Report, error) {
-	return s.run(horizon, true)
+	return s.run(context.Background(), horizon, true)
+}
+
+// RunContext is Run with cooperative cancellation: the engine polls ctx
+// periodically, and a cancelled context aborts the simulation and returns
+// an error wrapping the context's (so errors.Is matches context.Canceled
+// or context.DeadlineExceeded).
+func (s *Simulator) RunContext(ctx context.Context, horizon time.Duration) (*Report, error) {
+	return s.run(ctx, horizon, true)
 }
 
 // RunWatching is Run but stops as soon as the listed VMs complete (other
 // VMs may still hold unfinished work).
 func (s *Simulator) RunWatching(horizon time.Duration, vms ...*VM) (*Report, error) {
+	return s.RunWatchingContext(context.Background(), horizon, vms...)
+}
+
+// RunWatchingContext is RunWatching with the cancellation semantics of
+// RunContext.
+func (s *Simulator) RunWatchingContext(ctx context.Context, horizon time.Duration, vms ...*VM) (*Report, error) {
 	var ds []*xen.Domain
 	for _, vm := range vms {
 		ds = append(ds, vm.d)
 	}
 	s.h.WatchDomains(ds...)
-	return s.run(horizon, false)
+	return s.run(ctx, horizon, false)
 }
 
-func (s *Simulator) run(horizon time.Duration, watchAll bool) (*Report, error) {
+func (s *Simulator) run(ctx context.Context, horizon time.Duration, watchAll bool) (*Report, error) {
 	if horizon <= 0 {
 		return nil, fmt.Errorf("vprobe: non-positive horizon %v", horizon)
 	}
@@ -295,7 +342,11 @@ func (s *Simulator) run(horizon time.Duration, watchAll bool) (*Report, error) {
 		}
 		s.started = true
 	}
-	end := s.h.Run(sim.Duration(horizon.Microseconds()))
+	end, err := s.h.RunContext(ctx, sim.Duration(horizon.Microseconds()))
+	if err != nil {
+		return nil, fmt.Errorf("vprobe: run interrupted at %v: %w",
+			time.Duration(end)*time.Microsecond, err)
+	}
 	return buildReport(s, end), nil
 }
 
