@@ -1,0 +1,179 @@
+package vprobe
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"vprobe/internal/cluster"
+	"vprobe/internal/numa"
+	"vprobe/internal/sched"
+	"vprobe/internal/sim"
+)
+
+// Policy names a cluster placement policy (the Filter/Score pipeline a
+// cluster uses to admit VMs onto hosts).
+type Policy string
+
+// Built-in placement policies.
+const (
+	// PolicyPack consolidates: fullest feasible host wins.
+	PolicyPack Policy = "pack"
+	// PolicySpread balances: least-loaded feasible host wins.
+	PolicySpread Policy = "spread"
+	// PolicyNUMA is NUMA-aware: only hosts where the VM's memory fits in
+	// few per-node chunks are feasible, scored by single-node fit and LLC
+	// quiet-ness.
+	PolicyNUMA Policy = "numa"
+)
+
+// Policies returns all registered placement policies, sorted.
+func Policies() []Policy {
+	names := cluster.Policies()
+	out := make([]Policy, len(names))
+	for i, n := range names {
+		out[i] = Policy(n)
+	}
+	return out
+}
+
+// ClusterConfig parameterises RunCluster. Zero values select defaults
+// (4 hosts, TopologyXeonE5620, SchedulerCredit, PolicyNUMA, seed 1,
+// 0.35 arrivals/s, 60 s mean lifetime, 300 s horizon, mixed workloads).
+type ClusterConfig struct {
+	// Hosts is the number of simulated hosts (default 4).
+	Hosts int
+	// Topology is the per-host NUMA preset (default TopologyXeonE5620).
+	Topology Topology
+	// Scheduler is the per-host VCPU scheduler (default SchedulerCredit).
+	Scheduler Scheduler
+	// Policy is the placement policy (default PolicyNUMA).
+	Policy Policy
+	// Seed makes runs reproducible (default 1).
+	Seed uint64
+	// ArrivalsPerSecond is the Poisson VM arrival rate (default 0.35).
+	ArrivalsPerSecond float64
+	// MeanLifetime is the mean exponential VM lifetime (default 60s).
+	MeanLifetime time.Duration
+	// Horizon is the simulated duration (default 300s).
+	Horizon time.Duration
+	// Workers bounds host-advance parallelism (<= 0 means GOMAXPROCS).
+	// The result is byte-identical at every worker count.
+	Workers int
+	// Mix selects the workload mix: "mixed" (default), "batch", "server".
+	Mix string
+	// RebalancePeriod is the inter-host rebalancer tick (default 10s;
+	// negative disables rebalancing).
+	RebalancePeriod time.Duration
+	// Events receives cluster-scoped events (EventVMArrive ...
+	// EventMigrateDone) when non-nil. Event.Host and Event.VM carry the
+	// subjects; VCPU and Node are -1.
+	Events EventSink
+}
+
+// ClusterReport summarises a cluster run.
+type ClusterReport struct {
+	// Policy / Scheduler / Hosts / Horizon echo the configuration.
+	Policy    Policy
+	Scheduler Scheduler
+	Hosts     int
+	Horizon   time.Duration
+
+	// Arrivals counts VMs that entered admission; Placed counts
+	// placements (admissions plus migration re-placements); Rejected
+	// counts VMs that exhausted their retries; Departed counts completed
+	// lifetimes; Migrations counts inter-host live migrations.
+	Arrivals   int
+	Placed     int
+	Retries    int
+	Rejected   int
+	Departed   int
+	Migrations int
+
+	// RejectionRate is Rejected/Arrivals; RemoteRatio is the
+	// access-weighted remote-memory ratio across all hosts; Utilization
+	// is aggregate PCPU busy time over capacity.
+	RejectionRate float64
+	RemoteRatio   float64
+	Utilization   float64
+
+	text string
+}
+
+// String renders the report as aligned tables.
+func (r *ClusterReport) String() string { return r.text }
+
+// RunCluster simulates a multi-host cluster under the given placement
+// policy and per-host scheduler, driving a random stream of VM arrivals
+// and departures to the horizon. Configuration failures wrap
+// ErrUnknownTopology, ErrUnknownScheduler, or ErrUnknownPolicy.
+func RunCluster(ctx context.Context, cfg ClusterConfig) (*ClusterReport, error) {
+	if cfg.Topology != "" {
+		if _, ok := numa.Presets[string(cfg.Topology)]; !ok {
+			return nil, fmt.Errorf("%w: %q", ErrUnknownTopology, cfg.Topology)
+		}
+	}
+	if cfg.Scheduler != "" {
+		if _, err := sched.New(sched.Kind(cfg.Scheduler)); err != nil {
+			return nil, fmt.Errorf("%w: %q", ErrUnknownScheduler, cfg.Scheduler)
+		}
+	}
+	if cfg.Policy != "" {
+		if _, err := cluster.NewPipeline(string(cfg.Policy)); err != nil {
+			return nil, fmt.Errorf("%w: %q", ErrUnknownPolicy, cfg.Policy)
+		}
+	}
+	ccfg := cluster.Config{
+		Hosts:             cfg.Hosts,
+		Topology:          string(cfg.Topology),
+		Scheduler:         sched.Kind(cfg.Scheduler),
+		Policy:            string(cfg.Policy),
+		Seed:              cfg.Seed,
+		ArrivalsPerSecond: cfg.ArrivalsPerSecond,
+		MeanLifetime:      sim.Duration(cfg.MeanLifetime.Microseconds()),
+		Horizon:           sim.Duration(cfg.Horizon.Microseconds()),
+		Workers:           cfg.Workers,
+		Mix:               cfg.Mix,
+		RebalancePeriod:   sim.Duration(cfg.RebalancePeriod.Microseconds()),
+	}
+	if cfg.RebalancePeriod < 0 {
+		ccfg.RebalancePeriod = -1
+	}
+	if sink := cfg.Events; sink != nil {
+		ccfg.Events = func(ev cluster.Event) {
+			sink.HandleEvent(Event{
+				At:     time.Duration(ev.At) * time.Microsecond,
+				Kind:   EventKind(ev.Kind),
+				VCPU:   -1,
+				Node:   -1,
+				Host:   ev.Host,
+				VM:     ev.VM,
+				Detail: ev.Detail,
+			})
+		}
+	}
+	c, err := cluster.New(ccfg)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := c.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &ClusterReport{
+		Policy:        Policy(rep.Policy),
+		Scheduler:     Scheduler(rep.Scheduler),
+		Hosts:         rep.Hosts,
+		Horizon:       time.Duration(rep.Horizon) * time.Microsecond,
+		Arrivals:      rep.Arrivals,
+		Placed:        rep.Placed,
+		Retries:       rep.Retries,
+		Rejected:      rep.Rejected,
+		Departed:      rep.Departed,
+		Migrations:    rep.Migrations,
+		RejectionRate: rep.RejectionRate,
+		RemoteRatio:   rep.RemoteRatio,
+		Utilization:   rep.Utilization,
+		text:          rep.String(),
+	}, nil
+}

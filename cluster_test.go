@@ -1,0 +1,85 @@
+package vprobe_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"vprobe"
+)
+
+// TestRunCluster drives the public cluster API end-to-end: a short
+// multi-host run produces a populated report and cluster-scoped events.
+func TestRunCluster(t *testing.T) {
+	var events []vprobe.Event
+	rep, err := vprobe.RunCluster(context.Background(), vprobe.ClusterConfig{
+		Hosts:   2,
+		Policy:  vprobe.PolicyNUMA,
+		Seed:    9,
+		Horizon: 60 * time.Second,
+		Workers: 2,
+		Events: vprobe.EventFunc(func(ev vprobe.Event) {
+			events = append(events, ev)
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Hosts != 2 || rep.Policy != vprobe.PolicyNUMA || rep.Scheduler != vprobe.SchedulerCredit {
+		t.Fatalf("report echoes wrong config: %+v", rep)
+	}
+	if rep.Arrivals == 0 || rep.Placed == 0 || rep.Utilization <= 0 {
+		t.Fatalf("empty run: %+v", rep)
+	}
+	if rep.String() == "" {
+		t.Fatal("report renders empty")
+	}
+	if len(events) == 0 {
+		t.Fatal("no cluster events delivered")
+	}
+	sawPlace := false
+	for _, ev := range events {
+		if ev.VCPU != -1 || ev.Node != -1 {
+			t.Fatalf("cluster event carries VCPU/Node: %+v", ev)
+		}
+		if ev.Kind == vprobe.EventVMPlace {
+			sawPlace = true
+			if ev.Host == "" || ev.VM == "" {
+				t.Fatalf("placement without subjects: %+v", ev)
+			}
+		}
+	}
+	if !sawPlace {
+		t.Fatal("no vm-place event in a 60s run")
+	}
+}
+
+// TestRunClusterSentinels asserts configuration failures wrap the
+// package's sentinel errors.
+func TestRunClusterSentinels(t *testing.T) {
+	ctx := context.Background()
+	if _, err := vprobe.RunCluster(ctx, vprobe.ClusterConfig{Policy: "roulette"}); !errors.Is(err, vprobe.ErrUnknownPolicy) {
+		t.Fatalf("err = %v, want ErrUnknownPolicy", err)
+	}
+	if _, err := vprobe.RunCluster(ctx, vprobe.ClusterConfig{Topology: "toaster"}); !errors.Is(err, vprobe.ErrUnknownTopology) {
+		t.Fatalf("err = %v, want ErrUnknownTopology", err)
+	}
+	if _, err := vprobe.RunCluster(ctx, vprobe.ClusterConfig{Scheduler: "fifo"}); !errors.Is(err, vprobe.ErrUnknownScheduler) {
+		t.Fatalf("err = %v, want ErrUnknownScheduler", err)
+	}
+}
+
+// TestPoliciesList asserts the public policy enumeration covers the three
+// built-ins.
+func TestPoliciesList(t *testing.T) {
+	have := map[vprobe.Policy]bool{}
+	for _, p := range vprobe.Policies() {
+		have[p] = true
+	}
+	for _, want := range []vprobe.Policy{vprobe.PolicyPack, vprobe.PolicySpread, vprobe.PolicyNUMA} {
+		if !have[want] {
+			t.Fatalf("Policies() = %v missing %q", vprobe.Policies(), want)
+		}
+	}
+}

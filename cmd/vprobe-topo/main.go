@@ -3,10 +3,15 @@
 //
 // Usage:
 //
-//	vprobe-topo [preset ...]
+//	vprobe-topo [-json] [preset ...]
+//
+// With -json each topology is emitted in the JSON schema LoadFile reads,
+// so a preset can be dumped, edited, and fed back via the -topology flag
+// of vprobe-cluster (or any CLI that resolves topology files).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -16,8 +21,9 @@ import (
 )
 
 func main() {
+	asJSON := flag.Bool("json", false, "emit topologies as loadable JSON instead of text")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: %s [preset ...]\npresets:\n", os.Args[0])
+		fmt.Fprintf(os.Stderr, "usage: %s [-json] [preset ...]\npresets:\n", os.Args[0])
 		for _, name := range presetNames() {
 			fmt.Fprintf(os.Stderr, "  %s\n", name)
 		}
@@ -28,11 +34,20 @@ func main() {
 	if len(names) == 0 {
 		names = presetNames()
 	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
 	for _, name := range names {
 		top, err := numa.Resolve(name)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
+		}
+		if *asJSON {
+			if err := enc.Encode(numa.Export(top)); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			continue
 		}
 		fmt.Printf("topology %q\n%s\n", name, top)
 		fmt.Println("  distance matrix (SLIT, 10 = local):")

@@ -13,4 +13,7 @@ var (
 	ErrNoFreeVCPU = errors.New("vprobe: no free VCPU")
 	// ErrAlreadyStarted: the operation is only valid before Run.
 	ErrAlreadyStarted = errors.New("vprobe: simulation already started")
+	// ErrUnknownPolicy: ClusterConfig.Policy names no registered placement
+	// policy.
+	ErrUnknownPolicy = errors.New("vprobe: unknown placement policy")
 )

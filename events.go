@@ -3,6 +3,7 @@ package vprobe
 import (
 	"time"
 
+	"vprobe/internal/cluster"
 	"vprobe/internal/xen"
 )
 
@@ -25,6 +26,26 @@ const (
 	EventDomDestroy EventKind = EventKind(xen.EventDomDestroy)
 )
 
+// Cluster-scoped event kinds delivered to ClusterConfig.Events. These
+// describe VM admission, placement, and inter-host migration rather than
+// single-host scheduling; their events carry Host and VM instead of
+// VCPU/Node.
+const (
+	// EventVMArrive: a VM entered the admission queue.
+	EventVMArrive EventKind = EventKind(cluster.EventVMArrive)
+	// EventVMPlace: a VM was placed on a host (admission or migration).
+	EventVMPlace EventKind = EventKind(cluster.EventVMPlace)
+	// EventVMRetry: placement failed; the VM re-queued with backoff.
+	EventVMRetry EventKind = EventKind(cluster.EventVMRetry)
+	// EventVMReject: the VM exhausted its retries and was rejected.
+	EventVMReject EventKind = EventKind(cluster.EventVMReject)
+	// EventVMDepart: a VM reached the end of its lifetime.
+	EventVMDepart EventKind = EventKind(cluster.EventVMDepart)
+	// EventMigrateStart / EventMigrateDone: inter-host live migration.
+	EventMigrateStart EventKind = EventKind(cluster.EventMigrateStart)
+	EventMigrateDone  EventKind = EventKind(cluster.EventMigrateDone)
+)
+
 // Event is one structured scheduling trace record. The typed fields carry
 // machine-readable identities; Detail is the human-readable rendering.
 type Event struct {
@@ -40,6 +61,12 @@ type Event struct {
 	Node int
 	// App names the workload on the subject VCPU, when it has one.
 	App string
+	// Host names the cluster host involved; empty for single-host
+	// scheduling events.
+	Host string
+	// VM names the cluster VM involved; empty for single-host scheduling
+	// events.
+	VM string
 	// Detail is the formatted trace line.
 	Detail string
 }

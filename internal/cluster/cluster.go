@@ -1,0 +1,574 @@
+// Package cluster is the datacenter layer above internal/xen: N
+// independent hosts — each a full hypervisor simulation with its own NUMA
+// topology, per-host scheduler, and seeded RNG — receiving a dynamic
+// stream of VM arrivals and departures. Placement runs through a
+// kube-style two-phase Filter/Score plugin pipeline (see Pipeline) with
+// pluggable named policies; rejected VMs retry with linear backoff; and a
+// rebalancer live-migrates VMs off hosts whose aggregate LLC pressure or
+// remote-access ratio crosses a threshold, pricing each move by the VM's
+// memory footprint.
+//
+// Determinism: the cluster owns one discrete-event engine for
+// cluster-level events (arrivals, retries, departures, rebalance ticks,
+// migration completions). Between consecutive cluster events the hosts are
+// mutually independent, so the cluster advances all host engines to the
+// decision time in parallel (harness.Map) before any decision reads host
+// state — results are byte-identical at every worker count. Host seeds
+// derive from the cluster seed by name (harness.DeriveSeed), so adding a
+// host never reshuffles the others' streams.
+package cluster
+
+import (
+	"context"
+	"fmt"
+
+	"vprobe/internal/harness"
+	"vprobe/internal/mem"
+	"vprobe/internal/sched"
+	"vprobe/internal/sim"
+	"vprobe/internal/workload"
+)
+
+// Config parameterises a cluster run. Zero values select the defaults
+// noted on each field.
+type Config struct {
+	// Hosts is the host count (default 4).
+	Hosts int
+	// Topology is the NUMA preset name or topology JSON path every host
+	// uses (default "xeon-e5620").
+	Topology string
+	// Scheduler is the per-host scheduling policy (default credit).
+	Scheduler sched.Kind
+	// Policy is the placement policy name (default "numa"; see Policies).
+	Policy string
+	// Seed drives arrivals, workload mixes, and per-host streams
+	// (default 1).
+	Seed uint64
+	// ArrivalsPerSecond is the Poisson arrival rate (default 0.35).
+	ArrivalsPerSecond float64
+	// MeanLifetime is the mean of the exponential VM lifetime, measured
+	// from first placement (default 60 s).
+	MeanLifetime sim.Duration
+	// Horizon is the simulated duration of the run (default 300 s).
+	Horizon sim.Duration
+	// Workers bounds the goroutines advancing hosts in parallel
+	// (<= 0 means GOMAXPROCS).
+	Workers int
+	// Mix selects the workload mix: "mixed" (default), "batch", or
+	// "server".
+	Mix string
+	// MaxRetries is how many placement retries a VM gets before it is
+	// rejected for good (default 3).
+	MaxRetries int
+	// RetryBackoff is the base retry delay; attempt k waits k*backoff
+	// (default 5 s).
+	RetryBackoff sim.Duration
+	// RebalancePeriod is the rebalancer tick (default 10 s; < 0
+	// disables).
+	RebalancePeriod sim.Duration
+	// LLCPressureLimit triggers migration off a host whose per-socket
+	// LLC pressure sum exceeds it (default 50, ~2.5 thrashing apps per
+	// socket).
+	LLCPressureLimit float64
+	// RemoteRatioLimit triggers migration off a host whose remote-access
+	// ratio over the last rebalance interval exceeds it (default 0.45).
+	RemoteRatioLimit float64
+	// MigrationCooldown is the minimum time after a VM's (re)placement
+	// before the rebalancer may move it (default 2*RebalancePeriod).
+	MigrationCooldown sim.Duration
+	// Overcommit is the VCPU overcommit factor per host (default 3.0).
+	Overcommit float64
+	// Events, when set, receives cluster-scoped events.
+	Events func(Event)
+}
+
+// normalized fills defaults.
+func (c Config) normalized() Config {
+	if c.Hosts <= 0 {
+		c.Hosts = 4
+	}
+	if c.Topology == "" {
+		c.Topology = "xeon-e5620"
+	}
+	if c.Scheduler == "" {
+		c.Scheduler = sched.KindCredit
+	}
+	if c.Policy == "" {
+		c.Policy = "numa"
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.ArrivalsPerSecond <= 0 {
+		c.ArrivalsPerSecond = 0.35
+	}
+	if c.MeanLifetime <= 0 {
+		c.MeanLifetime = 60 * sim.Second
+	}
+	if c.Horizon <= 0 {
+		c.Horizon = 300 * sim.Second
+	}
+	if c.Mix == "" {
+		c.Mix = "mixed"
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 3
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 5 * sim.Second
+	}
+	if c.RebalancePeriod == 0 {
+		c.RebalancePeriod = 10 * sim.Second
+	}
+	if c.LLCPressureLimit <= 0 {
+		c.LLCPressureLimit = 50
+	}
+	if c.RemoteRatioLimit <= 0 {
+		c.RemoteRatioLimit = 0.45
+	}
+	if c.MigrationCooldown <= 0 && c.RebalancePeriod > 0 {
+		c.MigrationCooldown = 2 * c.RebalancePeriod
+	}
+	if c.Overcommit <= 0 {
+		c.Overcommit = 3.0
+	}
+	return c
+}
+
+// Cluster is one multi-host simulation.
+type Cluster struct {
+	cfg      Config
+	engine   *sim.Engine
+	arrRNG   *sim.RNG // arrival process and lifetimes
+	mixRNG   *sim.RNG // VM composition (size class, workloads)
+	hosts    []*Host
+	pipeline *Pipeline
+	migrator *mem.Migrator
+	vms      []*VM
+
+	stats struct {
+		Arrivals   int
+		Placed     int
+		Retries    int
+		Rejected   int
+		Departed   int
+		Migrations int
+	}
+
+	ctx      context.Context
+	err      error // first host-advance failure; stops the run
+	syncedTo sim.Time
+}
+
+// New validates the configuration and builds the hosts (each started with
+// zero domains — VMs arrive dynamically during Run).
+func New(cfg Config) (*Cluster, error) {
+	cfg = cfg.normalized()
+	pipeline, err := NewPipeline(cfg.Policy)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Mix != "mixed" && cfg.Mix != "batch" && cfg.Mix != "server" {
+		return nil, fmt.Errorf("cluster: unknown mix %q (have mixed, batch, server)", cfg.Mix)
+	}
+	root := sim.NewRNG(cfg.Seed)
+	c := &Cluster{
+		cfg:      cfg,
+		engine:   sim.NewEngine(),
+		arrRNG:   root.Fork(1),
+		mixRNG:   root.Fork(2),
+		pipeline: pipeline,
+		migrator: mem.DefaultMigrator(),
+	}
+	for i := 0; i < cfg.Hosts; i++ {
+		ho, err := newHost(i, cfg.Topology, cfg.Scheduler,
+			harness.DeriveSeed(cfg.Seed, "host", fmt.Sprintf("host%d", i)))
+		if err != nil {
+			return nil, err
+		}
+		c.hosts = append(c.hosts, ho)
+	}
+	return c, nil
+}
+
+// Run drives the cluster to its horizon and returns the report. It may be
+// called once.
+func (c *Cluster) Run(ctx context.Context) (*Report, error) {
+	c.ctx = ctx
+	c.scheduleNextArrival()
+	if c.cfg.RebalancePeriod > 0 {
+		c.engine.Every(c.cfg.RebalancePeriod, c.cfg.RebalancePeriod, "rebalance",
+			func(*sim.Engine) { c.rebalance() })
+	}
+	if _, err := c.engine.RunUntilContext(ctx, sim.Time(c.cfg.Horizon)); err != nil {
+		return nil, err
+	}
+	if c.err != nil {
+		return nil, c.err
+	}
+	// Hosts last synced at the final cluster event; play them out to the
+	// horizon so the report covers the full interval.
+	if err := c.syncHosts(sim.Time(c.cfg.Horizon)); err != nil {
+		return nil, err
+	}
+	return c.report(), nil
+}
+
+// syncHosts advances every host engine to absolute time t, in parallel
+// across the configured workers. Hosts are mutually independent between
+// cluster events, so the advance order cannot affect results.
+func (c *Cluster) syncHosts(t sim.Time) error {
+	if t <= c.syncedTo {
+		return nil
+	}
+	_, err := harness.Map(c.ctx, c.cfg.Workers, len(c.hosts),
+		func(ctx context.Context, i int) (struct{}, error) {
+			return struct{}{}, c.hosts[i].advanceTo(ctx, t)
+		})
+	if err != nil {
+		c.err = err
+		c.engine.Stop()
+		return err
+	}
+	c.syncedTo = t
+	return nil
+}
+
+// sync brings hosts current before a handler reads or mutates host state.
+// It reports false when the run is already failing and the handler should
+// bail.
+func (c *Cluster) sync() bool {
+	if c.err != nil {
+		return false
+	}
+	return c.syncHosts(c.engine.Now()) == nil
+}
+
+// scheduleNextArrival arms the Poisson arrival process.
+func (c *Cluster) scheduleNextArrival() {
+	wait := sim.Duration(c.arrRNG.Exp(1e6 / c.cfg.ArrivalsPerSecond))
+	if wait < sim.Microsecond {
+		wait = sim.Microsecond
+	}
+	c.engine.Schedule(wait, "arrival", func(*sim.Engine) {
+		c.onArrival()
+		c.scheduleNextArrival()
+	})
+}
+
+// onArrival admits one new VM request.
+func (c *Cluster) onArrival() {
+	if !c.sync() {
+		return
+	}
+	spec := c.nextSpec()
+	vm := &VM{
+		ID:       len(c.vms),
+		Spec:     spec,
+		arriveAt: c.engine.Now(),
+	}
+	c.vms = append(c.vms, vm)
+	c.stats.Arrivals++
+	c.emit(EventVMArrive, "", spec.Name, "vm %s arrives: %d MB, %d vcpus",
+		spec.Name, spec.MemoryMB, spec.VCPUs)
+	c.tryPlace(vm)
+}
+
+// sizeClasses are the VM shapes the generator draws from.
+var sizeClasses = []struct {
+	memMB  int64
+	vcpus  int
+	weight float64
+}{
+	{2 * 1024, 2, 0.50},
+	{4 * 1024, 4, 0.35},
+	{8 * 1024, 8, 0.15},
+}
+
+// batchNames is the pool of batch workloads for the mixed and batch mixes.
+var batchNames = []string{"soplex", "mcf", "milc", "libquantum", "lu", "mg", "bt", "cg", "sp"}
+
+// nextSpec draws one VM request from the configured mix.
+func (c *Cluster) nextSpec() VMSpec {
+	weights := make([]float64, len(sizeClasses))
+	for i, sc := range sizeClasses {
+		weights[i] = sc.weight
+	}
+	sc := sizeClasses[c.mixRNG.Pick(weights)]
+	spec := VMSpec{
+		Name:     fmt.Sprintf("vm%03d", len(c.vms)),
+		MemoryMB: sc.memMB,
+		VCPUs:    sc.vcpus,
+	}
+	for i := 0; i < sc.vcpus; i++ {
+		spec.Profiles = append(spec.Profiles, c.drawProfile())
+	}
+	return spec
+}
+
+// drawProfile picks one per-VCPU workload according to the mix.
+func (c *Cluster) drawProfile() *workload.Profile {
+	server := func() *workload.Profile {
+		if c.mixRNG.Intn(2) == 0 {
+			conc := []int{16, 64, 128}[c.mixRNG.Intn(3)]
+			return workload.Memcached(conc)
+		}
+		conns := []int{1000, 2000, 4000}[c.mixRNG.Intn(3)]
+		return workload.Redis(conns)
+	}
+	batch := func() *workload.Profile {
+		name := batchNames[c.mixRNG.Intn(len(batchNames))]
+		p, err := workload.ByName(name)
+		if err != nil {
+			panic(err) // batchNames is static and catalog-checked by tests
+		}
+		return p
+	}
+	switch c.cfg.Mix {
+	case "batch":
+		return batch()
+	case "server":
+		return server()
+	default: // mixed
+		if c.mixRNG.Float64() < 0.30 {
+			return server()
+		}
+		return batch()
+	}
+}
+
+// tryPlace runs the placement pipeline for a pending VM, queueing a retry
+// with linear backoff on failure and rejecting after MaxRetries.
+func (c *Cluster) tryPlace(vm *VM) {
+	views := make([]*HostView, len(c.hosts))
+	for i, ho := range c.hosts {
+		views[i] = ho.view(c.cfg.Overcommit)
+	}
+	hv, plan, err := c.pipeline.Place(&vm.Spec, views)
+	if err != nil {
+		vm.retries++
+		if vm.retries > c.cfg.MaxRetries {
+			vm.state = stateRejected
+			c.stats.Rejected++
+			c.emit(EventVMReject, "", vm.Spec.Name, "vm %s rejected after %d attempts: %v",
+				vm.Spec.Name, vm.retries, err)
+			return
+		}
+		c.stats.Retries++
+		backoff := c.cfg.RetryBackoff * sim.Duration(vm.retries)
+		c.emit(EventVMRetry, "", vm.Spec.Name, "vm %s queued (attempt %d, retry in %v): %v",
+			vm.Spec.Name, vm.retries, backoff, err)
+		c.engine.Schedule(backoff, "retry", func(*sim.Engine) {
+			if vm.state != statePending || !c.sync() {
+				return
+			}
+			c.tryPlace(vm)
+		})
+		return
+	}
+	c.placeOn(vm, c.hosts[hv.Index], plan)
+}
+
+// placeOn builds, binds, and activates the VM's domain on a host, and
+// schedules the VM's departure at first placement.
+func (c *Cluster) placeOn(vm *VM, ho *Host, plan MemPlan) {
+	dom, err := ho.H.AddDomain(vm.Spec.Name, vm.Spec.MemoryMB, vm.Spec.VCPUs,
+		plan.Policy, plan.Preferred)
+	if err != nil {
+		// The filter saw enough total free memory; an allocator-level
+		// failure is a pipeline/accounting bug worth surfacing loudly.
+		c.err = fmt.Errorf("cluster: place %s on %s: %w", vm.Spec.Name, ho.Name, err)
+		c.engine.Stop()
+		return
+	}
+	for i, p := range vm.Spec.Profiles {
+		if p == nil {
+			continue
+		}
+		if _, err := ho.H.AttachApp(dom, i, p.Clone()); err != nil {
+			c.err = fmt.Errorf("cluster: attach on %s: %w", ho.Name, err)
+			c.engine.Stop()
+			return
+		}
+	}
+	if err := ho.H.ActivateDomain(dom); err != nil {
+		c.err = fmt.Errorf("cluster: activate on %s: %w", ho.Name, err)
+		c.engine.Stop()
+		return
+	}
+	vm.Host = ho
+	vm.dom = dom
+	vm.state = stateRunning
+	vm.placedAt = c.engine.Now()
+	ho.VMs = append(ho.VMs, vm)
+	ho.Placed++
+	c.stats.Placed++
+	c.emit(EventVMPlace, ho.Name, vm.Spec.Name,
+		"vm %s placed on %s (%s memory, attempt %d)",
+		vm.Spec.Name, ho.Name, plan.Policy, vm.retries+1)
+	if vm.departAt == 0 {
+		life := sim.Duration(c.arrRNG.Exp(float64(c.cfg.MeanLifetime)))
+		if life < sim.Second {
+			life = sim.Second
+		}
+		vm.departAt = c.engine.Now().Add(life)
+		c.engine.Schedule(life, "depart", func(*sim.Engine) { c.onDepart(vm) })
+	}
+}
+
+// onDepart ends a VM's lifetime: its domain is destroyed (freeing memory)
+// wherever it currently is — even mid-migration, in which case the
+// migration completion becomes a no-op.
+func (c *Cluster) onDepart(vm *VM) {
+	if vm.state != stateRunning && vm.state != stateMigrating {
+		return
+	}
+	if !c.sync() {
+		return
+	}
+	if !vm.dom.Destroyed {
+		if err := vm.Host.H.DestroyDomain(vm.dom); err != nil {
+			c.err = fmt.Errorf("cluster: depart %s: %w", vm.Spec.Name, err)
+			c.engine.Stop()
+			return
+		}
+	}
+	vm.Host.removeVM(vm)
+	vm.state = stateDeparted
+	c.stats.Departed++
+	c.emit(EventVMDepart, vm.Host.Name, vm.Spec.Name, "vm %s departs %s after %v",
+		vm.Spec.Name, vm.Host.Name, c.engine.Now().Sub(vm.arriveAt))
+}
+
+// rebalance scans for overloaded hosts and migrates at most one VM off
+// each per tick.
+func (c *Cluster) rebalance() {
+	if !c.sync() {
+		return
+	}
+	views := make([]*HostView, len(c.hosts))
+	hot := make([]bool, len(c.hosts))
+	for i, ho := range c.hosts {
+		views[i] = ho.view(c.cfg.Overcommit)
+		hot[i] = views[i].LLCPressure > c.cfg.LLCPressureLimit ||
+			ho.intervalRemoteRatio() > c.cfg.RemoteRatioLimit
+	}
+	// Only cool hosts may receive migrations.
+	var coolViews []*HostView
+	for i, hv := range views {
+		if !hot[i] {
+			coolViews = append(coolViews, hv)
+		}
+	}
+	for i, ho := range c.hosts {
+		if !hot[i] || len(coolViews) == 0 {
+			continue
+		}
+		vm := c.migrationCandidate(ho)
+		if vm == nil {
+			continue
+		}
+		hv, plan, err := c.pipeline.Place(&vm.Spec, coolViews)
+		if err != nil {
+			continue // nowhere to move it this tick
+		}
+		c.startMigration(vm, c.hosts[hv.Index], plan)
+	}
+}
+
+// migrationCandidate picks the VM contributing the most LLC pressure on
+// the host, skipping VMs already migrating or inside the cooldown window.
+func (c *Cluster) migrationCandidate(ho *Host) *VM {
+	now := c.engine.Now()
+	var best *VM
+	var bestPressure float64
+	for _, vm := range ho.VMs {
+		if vm.state != stateRunning {
+			continue
+		}
+		if now.Sub(vm.placedAt) < c.cfg.MigrationCooldown {
+			continue
+		}
+		var pressure float64
+		for _, v := range vm.dom.VCPUs {
+			if !v.Runnable() {
+				continue
+			}
+			if ph := v.Phase(); ph != nil {
+				pressure += ph.RPTI
+			}
+		}
+		if best == nil || pressure > bestPressure {
+			best, bestPressure = vm, pressure
+		}
+	}
+	if best == nil || bestPressure <= 0 {
+		return nil
+	}
+	return best
+}
+
+// startMigration moves a VM between hosts: the target domain is built
+// immediately (reserving memory) with the source's remaining work, the
+// source domain is destroyed, and the VM resumes on the target after a
+// blackout priced from its memory footprint via the page-migration cost
+// model (mem.Migrator.FullCopyCycles).
+func (c *Cluster) startMigration(vm *VM, target *Host, plan MemPlan) {
+	profiles := vm.migrationProfiles()
+	dom, err := target.H.AddDomain(vm.Spec.Name, vm.Spec.MemoryMB, vm.Spec.VCPUs,
+		plan.Policy, plan.Preferred)
+	if err != nil {
+		return // capacity moved under us; skip this tick
+	}
+	for i, p := range profiles {
+		if p == nil {
+			continue
+		}
+		if _, err := target.H.AttachApp(dom, i, p); err != nil {
+			c.err = fmt.Errorf("cluster: migrate attach on %s: %w", target.Name, err)
+			c.engine.Stop()
+			return
+		}
+	}
+	src := vm.Host
+	if err := src.H.DestroyDomain(vm.dom); err != nil {
+		c.err = fmt.Errorf("cluster: migrate teardown on %s: %w", src.Name, err)
+		c.engine.Stop()
+		return
+	}
+	src.removeVM(vm)
+	vm.Host = target
+	vm.dom = dom
+	vm.state = stateMigrating
+	vm.Migrations++
+	target.VMs = append(target.VMs, vm)
+	c.stats.Migrations++
+
+	cycles := c.migrator.FullCopyCycles(vm.Spec.MemoryMB)
+	blackout := sim.Duration(cycles / target.Top.CyclesPerMicrosecond())
+	c.emit(EventMigrateStart, src.Name, vm.Spec.Name,
+		"vm %s migrating %s -> %s (%d MB, blackout %v)",
+		vm.Spec.Name, src.Name, target.Name, vm.Spec.MemoryMB, blackout)
+	c.engine.Schedule(blackout, "migrate-done", func(*sim.Engine) { c.finishMigration(vm) })
+}
+
+// finishMigration activates the VM on its target host once the copy
+// blackout elapses. A VM that departed mid-copy stays down.
+func (c *Cluster) finishMigration(vm *VM) {
+	if vm.state != stateMigrating {
+		return
+	}
+	if !c.sync() {
+		return
+	}
+	if err := vm.Host.H.ActivateDomain(vm.dom); err != nil {
+		c.err = fmt.Errorf("cluster: migrate activate on %s: %w", vm.Host.Name, err)
+		c.engine.Stop()
+		return
+	}
+	vm.state = stateRunning
+	vm.placedAt = c.engine.Now()
+	vm.Host.Placed++
+	c.emit(EventMigrateDone, vm.Host.Name, vm.Spec.Name,
+		"vm %s resumed on %s", vm.Spec.Name, vm.Host.Name)
+}

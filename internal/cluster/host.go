@@ -1,0 +1,159 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+
+	"vprobe/internal/numa"
+	"vprobe/internal/sched"
+	"vprobe/internal/sim"
+	"vprobe/internal/xen"
+)
+
+// Host is one hypervisor in the cluster: an independent xen.Hypervisor
+// with its own NUMA topology, scheduling policy, seeded RNG, and event
+// engine. Hosts share nothing, which is what lets the cluster advance them
+// in parallel between cluster-level decisions.
+type Host struct {
+	Index int
+	Name  string
+	Top   *numa.Topology
+	H     *xen.Hypervisor
+
+	// VMs are the live (placed or migrating-in) VMs, in placement order.
+	VMs []*VM
+	// Placed counts cumulative placements, including migrations in.
+	Placed int
+
+	// Rebalance-interval counter snapshot (see intervalRemoteRatio).
+	lastTotal, lastRemote float64
+}
+
+// newHost builds and starts one host. Starting with zero domains is valid:
+// the tickers arm and every PCPU idles until the first VM activates.
+func newHost(index int, topoName string, kind sched.Kind, seed uint64) (*Host, error) {
+	top, err := numa.Resolve(topoName)
+	if err != nil {
+		return nil, err
+	}
+	pol, err := sched.New(kind)
+	if err != nil {
+		return nil, err
+	}
+	cfg := xen.DefaultConfig()
+	cfg.Seed = seed
+	h := xen.New(top, pol, cfg)
+	if err := h.Start(); err != nil {
+		return nil, err
+	}
+	return &Host{
+		Index: index,
+		Name:  fmt.Sprintf("host%d", index),
+		Top:   top,
+		H:     h,
+	}, nil
+}
+
+// advanceTo runs the host's own event engine up to absolute cluster time
+// t. Host clocks and the cluster clock share t=0, so this keeps every
+// host's state current before a cluster-level decision reads it.
+func (ho *Host) advanceTo(ctx context.Context, t sim.Time) error {
+	if ho.H.Engine.Now() >= t {
+		return nil
+	}
+	_, err := ho.H.RunContext(ctx, sim.Duration(t))
+	return err
+}
+
+// guestVCPUs counts VCPUs of live domains (the CPU overcommit figure).
+func (ho *Host) guestVCPUs() int {
+	n := 0
+	for _, vm := range ho.VMs {
+		n += vm.Spec.VCPUs
+	}
+	return n
+}
+
+// removeVM drops a VM from the live list.
+func (ho *Host) removeVM(vm *VM) {
+	for i, v := range ho.VMs {
+		if v == vm {
+			ho.VMs = append(ho.VMs[:i], ho.VMs[i+1:]...)
+			return
+		}
+	}
+}
+
+// llcPressure sums the current-phase LLC reference intensity (RPTI) of the
+// host's active VCPUs, averaged per socket — the cluster-level analogue of
+// the paper's per-socket pressure sum that periodical partitioning
+// balances inside one host.
+func (ho *Host) llcPressure() float64 {
+	var sum float64
+	for _, v := range ho.H.AllVCPUs() {
+		if !v.Runnable() {
+			continue
+		}
+		if ph := v.Phase(); ph != nil {
+			sum += ph.RPTI
+		}
+	}
+	return sum / float64(ho.Top.NumNodes())
+}
+
+// counterTotals sums lifetime memory-access counters over every VCPU the
+// host has ever run (including departed domains, whose counters survive).
+func (ho *Host) counterTotals() (total, remote float64) {
+	for _, v := range ho.H.AllVCPUs() {
+		total += v.Counters.Total()
+		remote += v.Counters.Remote
+	}
+	return total, remote
+}
+
+// remoteRatio is the host's lifetime remote-access ratio.
+func (ho *Host) remoteRatio() float64 {
+	total, remote := ho.counterTotals()
+	if total <= 0 {
+		return 0
+	}
+	return remote / total
+}
+
+// intervalRemoteRatio returns the remote-access ratio since the previous
+// call and advances the snapshot. The rebalancer uses this (not the
+// lifetime ratio) so an old imbalance that was already fixed does not keep
+// triggering migrations.
+func (ho *Host) intervalRemoteRatio() float64 {
+	total, remote := ho.counterTotals()
+	dt, dr := total-ho.lastTotal, remote-ho.lastRemote
+	ho.lastTotal, ho.lastRemote = total, remote
+	if dt <= 0 {
+		return 0
+	}
+	return dr / dt
+}
+
+// view snapshots the host's placement-relevant state for the filter/score
+// pipeline. overcommit is the cluster's VCPU overcommit factor, baked into
+// the view so plugins stay pure functions of (spec, view).
+func (ho *Host) view(overcommit float64) *HostView {
+	v := &HostView{
+		Index:       ho.Index,
+		Name:        ho.Name,
+		Nodes:       ho.Top.NumNodes(),
+		CPUs:        ho.Top.NumCPUs(),
+		TotalMB:     ho.Top.TotalMemoryMB(),
+		GuestVCPUs:  ho.guestVCPUs(),
+		VCPUCap:     int(overcommit * float64(ho.Top.NumCPUs())),
+		VMs:         len(ho.VMs),
+		LLCPressure: ho.llcPressure(),
+		RemoteRatio: ho.remoteRatio(),
+	}
+	for n := 0; n < ho.Top.NumNodes(); n++ {
+		free := ho.H.Alloc.FreeMB(numa.NodeID(n))
+		v.FreePerNodeMB = append(v.FreePerNodeMB, free)
+		v.FreeMB += free
+	}
+	return v
+}

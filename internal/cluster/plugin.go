@@ -1,0 +1,269 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"vprobe/internal/mem"
+	"vprobe/internal/numa"
+)
+
+// HostView is an immutable snapshot of one host's placement-relevant
+// state. Plugins see only views, never hosts, so a placement decision is a
+// pure function of (spec, views) — which is what keeps cluster runs
+// byte-identical at any worker count.
+type HostView struct {
+	Index int
+	Name  string
+
+	Nodes int
+	CPUs  int
+
+	// FreePerNodeMB is free machine memory per NUMA node; FreeMB and
+	// TotalMB are the host-wide free and installed capacities.
+	FreePerNodeMB []int64
+	FreeMB        int64
+	TotalMB       int64
+
+	// GuestVCPUs counts VCPUs of live domains; VCPUCap is the overcommit
+	// ceiling.
+	GuestVCPUs int
+	VCPUCap    int
+
+	// VMs is the live VM count.
+	VMs int
+
+	// LLCPressure is the per-socket average of the active VCPUs' LLC
+	// reference intensity (RPTI); RemoteRatio is the host's lifetime
+	// remote-access ratio.
+	LLCPressure float64
+	RemoteRatio float64
+}
+
+// bestNode returns the node with the most free memory (ties toward the
+// lowest id) and that node's free MB.
+func (hv *HostView) bestNode() (numa.NodeID, int64) {
+	best, bestFree := numa.NoNode, int64(-1)
+	for n, free := range hv.FreePerNodeMB {
+		if free > bestFree {
+			best, bestFree = numa.NodeID(n), free
+		}
+	}
+	return best, bestFree
+}
+
+// FilterPlugin vetoes hosts that cannot take the VM. A nil error admits
+// the host to scoring; the error explains the veto (surfaced when every
+// host filters out).
+type FilterPlugin interface {
+	Name() string
+	Filter(spec *VMSpec, host *HostView) error
+}
+
+// ScorePlugin ranks a host that passed all filters. Scores are on [0,
+// 100]; the pipeline sums weighted scores and places on the maximum.
+type ScorePlugin interface {
+	Name() string
+	Score(spec *VMSpec, host *HostView) float64
+}
+
+// WeightedScore pairs a score plugin with its weight in the sum.
+type WeightedScore struct {
+	Plugin ScorePlugin
+	Weight float64
+}
+
+// MemPlan is a policy's memory-placement choice for an admitted VM: the
+// allocation policy passed to the host's allocator and the preferred node
+// for mem.PolicyLocal.
+type MemPlan struct {
+	Policy    mem.Policy
+	Preferred numa.NodeID
+}
+
+// Pipeline is a kube-style two-phase placement policy: Filter plugins veto
+// hosts, Score plugins rank the survivors, and MemPlan chooses how the
+// winner lays the VM's memory out. Ties break toward the lowest host
+// index.
+type Pipeline struct {
+	Name    string
+	Filters []FilterPlugin
+	Scorers []WeightedScore
+	// MemPlan maps the winning (spec, view) to a memory layout. When nil
+	// the pipeline defaults to striping across nodes.
+	MemPlan func(spec *VMSpec, host *HostView) MemPlan
+}
+
+// ErrNoHostFits is wrapped into Place's error when every host filters out.
+var ErrNoHostFits = errors.New("cluster: no host fits")
+
+// Place runs the two phases over the views and returns the winning view
+// and the memory plan for it.
+func (pl *Pipeline) Place(spec *VMSpec, views []*HostView) (*HostView, MemPlan, error) {
+	type veto struct {
+		host, plugin, reason string
+	}
+	var vetoes []veto
+	var feasible []*HostView
+	for _, hv := range views {
+		admitted := true
+		for _, f := range pl.Filters {
+			if err := f.Filter(spec, hv); err != nil {
+				vetoes = append(vetoes, veto{hv.Name, f.Name(), err.Error()})
+				admitted = false
+				break
+			}
+		}
+		if admitted {
+			feasible = append(feasible, hv)
+		}
+	}
+	if len(feasible) == 0 {
+		reasons := make([]string, 0, len(vetoes))
+		for _, v := range vetoes {
+			reasons = append(reasons, fmt.Sprintf("%s: %s: %s", v.host, v.plugin, v.reason))
+		}
+		sort.Strings(reasons)
+		return nil, MemPlan{}, fmt.Errorf("%w for %s (%d MB, %d vcpus): %v",
+			ErrNoHostFits, spec.Name, spec.MemoryMB, spec.VCPUs, reasons)
+	}
+
+	var best *HostView
+	var bestScore float64
+	for _, hv := range feasible {
+		var score float64
+		for _, ws := range pl.Scorers {
+			score += ws.Weight * ws.Plugin.Score(spec, hv)
+		}
+		if best == nil || score > bestScore ||
+			(score == bestScore && hv.Index < best.Index) {
+			best, bestScore = hv, score
+		}
+	}
+	plan := MemPlan{Policy: mem.PolicyStripe}
+	if pl.MemPlan != nil {
+		plan = pl.MemPlan(spec, best)
+	}
+	return best, plan, nil
+}
+
+// ---- Built-in filter plugins ----
+
+// CapacityFilter is the baseline admission check: the VM's memory must fit
+// in the host's total free memory and its VCPUs under the overcommit cap.
+type CapacityFilter struct{}
+
+// Name implements FilterPlugin.
+func (CapacityFilter) Name() string { return "capacity" }
+
+// Filter implements FilterPlugin.
+func (CapacityFilter) Filter(spec *VMSpec, hv *HostView) error {
+	if spec.MemoryMB > hv.FreeMB {
+		return fmt.Errorf("needs %d MB, %d MB free", spec.MemoryMB, hv.FreeMB)
+	}
+	if hv.GuestVCPUs+spec.VCPUs > hv.VCPUCap {
+		return fmt.Errorf("needs %d vcpus, %d of %d committed",
+			spec.VCPUs, hv.GuestVCPUs, hv.VCPUCap)
+	}
+	return nil
+}
+
+// NUMAFitFilter implements Gudkov-style available-space accounting: total
+// free memory overstates what a NUMA host can give a VM, because a VM
+// spread over many nodes pays remote latency for most of its accesses. The
+// filter admits a host only if the VM fits within the MaxSplit largest
+// per-node free chunks — the available space for a VM that tolerates
+// spanning at most MaxSplit virtual NUMA nodes.
+type NUMAFitFilter struct {
+	// MaxSplit is the maximum number of nodes the VM may span (>= 1).
+	MaxSplit int
+}
+
+// Name implements FilterPlugin.
+func (f NUMAFitFilter) Name() string { return "numa-fit" }
+
+// Filter implements FilterPlugin.
+func (f NUMAFitFilter) Filter(spec *VMSpec, hv *HostView) error {
+	split := f.MaxSplit
+	if split < 1 {
+		split = 1
+	}
+	free := append([]int64(nil), hv.FreePerNodeMB...)
+	sort.Slice(free, func(i, j int) bool { return free[i] > free[j] })
+	var avail int64
+	for i := 0; i < split && i < len(free); i++ {
+		avail += free[i]
+	}
+	if spec.MemoryMB > avail {
+		return fmt.Errorf("needs %d MB within %d node(s), %d MB available",
+			spec.MemoryMB, split, avail)
+	}
+	return nil
+}
+
+// ---- Built-in score plugins ----
+
+// LeastLoadedScore prefers emptier hosts (spreading): the mean of the free
+// memory fraction and the free VCPU-cap fraction, scaled to [0, 100].
+type LeastLoadedScore struct{}
+
+// Name implements ScorePlugin.
+func (LeastLoadedScore) Name() string { return "least-loaded" }
+
+// Score implements ScorePlugin.
+func (LeastLoadedScore) Score(spec *VMSpec, hv *HostView) float64 {
+	memFree := float64(hv.FreeMB) / float64(hv.TotalMB)
+	cpuFree := 1 - float64(hv.GuestVCPUs)/float64(hv.VCPUCap)
+	if cpuFree < 0 {
+		cpuFree = 0
+	}
+	return 50 * (memFree + cpuFree)
+}
+
+// PackScore is the inverse of LeastLoadedScore: prefer fuller hosts, so
+// VMs consolidate and empty hosts stay empty.
+type PackScore struct{}
+
+// Name implements ScorePlugin.
+func (PackScore) Name() string { return "pack" }
+
+// Score implements ScorePlugin.
+func (PackScore) Score(spec *VMSpec, hv *HostView) float64 {
+	return 100 - (LeastLoadedScore{}).Score(spec, hv)
+}
+
+// NUMAFitScore prefers hosts where the VM's memory fits on a single node:
+// single-node placements score 60 plus up to 40 for headroom; hosts that
+// would force a split score by the fraction that stays on the best node.
+type NUMAFitScore struct{}
+
+// Name implements ScorePlugin.
+func (NUMAFitScore) Name() string { return "numa-fit" }
+
+// Score implements ScorePlugin.
+func (NUMAFitScore) Score(spec *VMSpec, hv *HostView) float64 {
+	_, bestFree := hv.bestNode()
+	if bestFree >= spec.MemoryMB {
+		headroom := float64(bestFree-spec.MemoryMB) / float64(bestFree)
+		return 60 + 40*headroom
+	}
+	if spec.MemoryMB <= 0 {
+		return 0
+	}
+	return 50 * float64(bestFree) / float64(spec.MemoryMB)
+}
+
+// LLCBalanceScore prefers hosts with low aggregate LLC pressure, so
+// cache-hungry VMs spread across sockets cluster-wide instead of stacking
+// on one machine. The scale constant is the paper's LLC-T bound: a host
+// whose per-socket pressure sum matches one thrashing app scores ~50.
+type LLCBalanceScore struct{}
+
+// Name implements ScorePlugin.
+func (LLCBalanceScore) Name() string { return "llc-balance" }
+
+// Score implements ScorePlugin.
+func (LLCBalanceScore) Score(spec *VMSpec, hv *HostView) float64 {
+	return 100 / (1 + hv.LLCPressure/20)
+}

@@ -1,0 +1,167 @@
+package cluster
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"vprobe/internal/mem"
+)
+
+func view(index int, freePerNode []int64, totalMB int64, guestVCPUs, cap int) *HostView {
+	hv := &HostView{
+		Index:         index,
+		Name:          "host" + string(rune('0'+index)),
+		Nodes:         len(freePerNode),
+		CPUs:          cap / 3,
+		FreePerNodeMB: freePerNode,
+		TotalMB:       totalMB,
+		GuestVCPUs:    guestVCPUs,
+		VCPUCap:       cap,
+	}
+	for _, f := range freePerNode {
+		hv.FreeMB += f
+	}
+	return hv
+}
+
+func TestCapacityFilter(t *testing.T) {
+	f := CapacityFilter{}
+	spec := &VMSpec{Name: "vm", MemoryMB: 4096, VCPUs: 4}
+
+	if err := f.Filter(spec, view(0, []int64{4096, 4096}, 24576, 0, 24)); err != nil {
+		t.Fatalf("fitting VM filtered: %v", err)
+	}
+	if err := f.Filter(spec, view(0, []int64{1024, 1024}, 24576, 0, 24)); err == nil {
+		t.Fatal("memory-starved host admitted")
+	}
+	if err := f.Filter(spec, view(0, []int64{8192, 8192}, 24576, 22, 24)); err == nil {
+		t.Fatal("vcpu-overcommitted host admitted")
+	}
+}
+
+func TestNUMAFitFilter(t *testing.T) {
+	spec := &VMSpec{Name: "vm", MemoryMB: 6000, VCPUs: 4}
+
+	// 4 nodes with 2000 MB each: total 8000 covers the VM, but no 2 nodes do.
+	hv := view(0, []int64{2000, 2000, 2000, 2000}, 65536, 0, 48)
+	if err := (CapacityFilter{}).Filter(spec, hv); err != nil {
+		t.Fatalf("capacity filter should pass on total: %v", err)
+	}
+	if err := (NUMAFitFilter{MaxSplit: 2}).Filter(spec, hv); err == nil {
+		t.Fatal("VM needing a 3-way split admitted with MaxSplit=2")
+	}
+	if err := (NUMAFitFilter{MaxSplit: 3}).Filter(spec, hv); err != nil {
+		t.Fatalf("3-way split should fit with MaxSplit=3: %v", err)
+	}
+
+	// Uneven free memory: the two largest chunks are what counts.
+	hv = view(0, []int64{500, 4000, 2500, 100}, 65536, 0, 48)
+	if err := (NUMAFitFilter{MaxSplit: 2}).Filter(spec, hv); err != nil {
+		t.Fatalf("4000+2500 >= 6000 should fit: %v", err)
+	}
+}
+
+func TestScorerOrdering(t *testing.T) {
+	spec := &VMSpec{Name: "vm", MemoryMB: 2048, VCPUs: 2}
+	empty := view(0, []int64{12288, 12288}, 24576, 0, 24)
+	full := view(1, []int64{2048, 1024}, 24576, 18, 24)
+
+	if (LeastLoadedScore{}).Score(spec, empty) <= (LeastLoadedScore{}).Score(spec, full) {
+		t.Fatal("least-loaded should prefer the empty host")
+	}
+	if (PackScore{}).Score(spec, full) <= (PackScore{}).Score(spec, empty) {
+		t.Fatal("pack should prefer the full host")
+	}
+
+	oneNode := view(2, []int64{4096, 0}, 24576, 0, 24)
+	split := view(3, []int64{1024, 1024}, 24576, 0, 24)
+	if (NUMAFitScore{}).Score(spec, oneNode) <= (NUMAFitScore{}).Score(spec, split) {
+		t.Fatal("numa-fit should prefer the single-node-fitting host")
+	}
+
+	calm := view(4, []int64{8192, 8192}, 24576, 4, 24)
+	loud := view(5, []int64{8192, 8192}, 24576, 4, 24)
+	loud.LLCPressure = 60
+	if (LLCBalanceScore{}).Score(spec, calm) <= (LLCBalanceScore{}).Score(spec, loud) {
+		t.Fatal("llc-balance should prefer the quiet host")
+	}
+}
+
+func TestPipelinePlace(t *testing.T) {
+	pl, err := NewPipeline("spread")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := &VMSpec{Name: "vm", MemoryMB: 2048, VCPUs: 2}
+	views := []*HostView{
+		view(0, []int64{2048, 2048}, 24576, 18, 24),
+		view(1, []int64{12288, 12288}, 24576, 0, 24),
+	}
+	hv, plan, err := pl.Place(spec, views)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hv.Index != 1 {
+		t.Fatalf("spread picked host %d, want the empty host 1", hv.Index)
+	}
+	if plan.Policy != mem.PolicyStripe {
+		t.Fatalf("spread plan = %v, want stripe", plan.Policy)
+	}
+}
+
+func TestPipelineTieBreak(t *testing.T) {
+	pl := &Pipeline{
+		Name:    "flat",
+		Filters: []FilterPlugin{CapacityFilter{}},
+		Scorers: nil, // all scores zero: pure tie
+	}
+	spec := &VMSpec{Name: "vm", MemoryMB: 1024, VCPUs: 1}
+	views := []*HostView{
+		view(2, []int64{8192, 8192}, 24576, 0, 24),
+		view(0, []int64{8192, 8192}, 24576, 0, 24),
+		view(1, []int64{8192, 8192}, 24576, 0, 24),
+	}
+	hv, _, err := pl.Place(spec, views)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hv.Index != 0 {
+		t.Fatalf("tie broke to host %d, want lowest index 0", hv.Index)
+	}
+}
+
+func TestPipelineNoHostFits(t *testing.T) {
+	pl, err := NewPipeline("numa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := &VMSpec{Name: "vm", MemoryMB: 64 * 1024, VCPUs: 2}
+	views := []*HostView{view(0, []int64{8192, 8192}, 24576, 0, 24)}
+	_, _, err = pl.Place(spec, views)
+	if !errors.Is(err, ErrNoHostFits) {
+		t.Fatalf("err = %v, want ErrNoHostFits", err)
+	}
+	if !strings.Contains(err.Error(), "capacity") {
+		t.Fatalf("veto reason missing plugin name: %v", err)
+	}
+}
+
+func TestPolicyRegistry(t *testing.T) {
+	names := Policies()
+	if len(names) < 3 {
+		t.Fatalf("want >= 3 registered policies, have %v", names)
+	}
+	for _, n := range names {
+		pl, err := NewPipeline(n)
+		if err != nil {
+			t.Fatalf("NewPipeline(%q): %v", n, err)
+		}
+		if pl.Name != n || len(pl.Filters) == 0 {
+			t.Fatalf("policy %q malformed: %+v", n, pl)
+		}
+	}
+	if _, err := NewPipeline("roulette"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}

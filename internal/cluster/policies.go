@@ -1,0 +1,99 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"vprobe/internal/mem"
+	"vprobe/internal/numa"
+)
+
+// The policy registry mirrors internal/sched's scheduler registry:
+// policies are named pipeline constructors, selectable by CLI flag or
+// experiment config, and Pipelines are stateless so a fresh one per
+// cluster is cheap.
+
+var policyRegistry = map[string]func() *Pipeline{}
+
+// RegisterPolicy adds a named pipeline constructor. Registering a
+// duplicate name panics: policies are wired at init time, and a silent
+// overwrite would make experiment results depend on init order.
+func RegisterPolicy(name string, mk func() *Pipeline) {
+	if _, dup := policyRegistry[name]; dup {
+		panic(fmt.Sprintf("cluster: duplicate policy %q", name))
+	}
+	policyRegistry[name] = mk
+}
+
+// NewPipeline constructs a fresh pipeline for a registered policy name.
+func NewPipeline(name string) (*Pipeline, error) {
+	mk, ok := policyRegistry[name]
+	if !ok {
+		return nil, fmt.Errorf("cluster: unknown policy %q (have %v)", name, Policies())
+	}
+	return mk(), nil
+}
+
+// Policies returns the registered policy names in sorted order.
+func Policies() []string {
+	names := make([]string, 0, len(policyRegistry))
+	for n := range policyRegistry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func init() {
+	// pack consolidates: fullest feasible host wins and memory fills from
+	// node 0, approximating a non-NUMA-aware capacity-driven placer.
+	RegisterPolicy("pack", func() *Pipeline {
+		return &Pipeline{
+			Name:    "pack",
+			Filters: []FilterPlugin{CapacityFilter{}},
+			Scorers: []WeightedScore{{PackScore{}, 1}},
+			MemPlan: func(*VMSpec, *HostView) MemPlan {
+				return MemPlan{Policy: mem.PolicyFill}
+			},
+		}
+	})
+
+	// spread load-balances: emptiest host wins and memory stripes across
+	// nodes — maximum headroom everywhere, no NUMA awareness.
+	RegisterPolicy("spread", func() *Pipeline {
+		return &Pipeline{
+			Name:    "spread",
+			Filters: []FilterPlugin{CapacityFilter{}},
+			Scorers: []WeightedScore{{LeastLoadedScore{}, 1}},
+			MemPlan: func(*VMSpec, *HostView) MemPlan {
+				return MemPlan{Policy: mem.PolicyStripe}
+			},
+		}
+	})
+
+	// numa is the NUMA-aware policy: Gudkov-style available-space
+	// admission (a VM may span at most 2 nodes), then a blend of
+	// single-node fit, cluster-wide LLC-pressure balance, and load. An
+	// admitted VM's memory goes local to its best node when it fits on
+	// one node, and stripes otherwise.
+	RegisterPolicy("numa", func() *Pipeline {
+		return &Pipeline{
+			Name: "numa",
+			Filters: []FilterPlugin{
+				CapacityFilter{},
+				NUMAFitFilter{MaxSplit: 2},
+			},
+			Scorers: []WeightedScore{
+				{NUMAFitScore{}, 1},
+				{LLCBalanceScore{}, 1},
+				{LeastLoadedScore{}, 0.5},
+			},
+			MemPlan: func(spec *VMSpec, hv *HostView) MemPlan {
+				if node, free := hv.bestNode(); node != numa.NoNode && free >= spec.MemoryMB {
+					return MemPlan{Policy: mem.PolicyLocal, Preferred: node}
+				}
+				return MemPlan{Policy: mem.PolicyStripe}
+			},
+		}
+	})
+}

@@ -1,0 +1,121 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+
+	"vprobe/internal/metrics"
+	"vprobe/internal/sim"
+)
+
+// Report summarises one cluster run: admission outcomes, migration
+// activity, and placement quality (remote-access ratio, utilization),
+// cluster-wide and per host.
+type Report struct {
+	Policy    string
+	Scheduler string
+	Hosts     int
+	Horizon   sim.Duration
+
+	Arrivals   int
+	Placed     int
+	Retries    int
+	Rejected   int
+	Departed   int
+	Migrations int
+
+	// RejectionRate is Rejected/Arrivals.
+	RejectionRate float64
+	// RemoteRatio is the access-weighted remote-memory-access ratio over
+	// every VCPU any host ever ran.
+	RemoteRatio float64
+	// Utilization is total PCPU busy time over Hosts*CPUs*Horizon.
+	Utilization float64
+
+	PerHost []HostReport
+}
+
+// HostReport is one host's slice of the run.
+type HostReport struct {
+	Name string
+	// Placed counts cumulative placements (admissions + migrations in);
+	// Resident is the live VM count at the horizon.
+	Placed   int
+	Resident int
+	// RemoteRatio and Utilization are the host-local qualities.
+	RemoteRatio float64
+	Utilization float64
+}
+
+// report assembles the Report after the final host sync.
+func (c *Cluster) report() *Report {
+	r := &Report{
+		Policy:     c.cfg.Policy,
+		Scheduler:  string(c.cfg.Scheduler),
+		Hosts:      len(c.hosts),
+		Horizon:    c.cfg.Horizon,
+		Arrivals:   c.stats.Arrivals,
+		Placed:     c.stats.Placed,
+		Retries:    c.stats.Retries,
+		Rejected:   c.stats.Rejected,
+		Departed:   c.stats.Departed,
+		Migrations: c.stats.Migrations,
+	}
+	if r.Arrivals > 0 {
+		r.RejectionRate = float64(r.Rejected) / float64(r.Arrivals)
+	}
+	var total, remote float64
+	var busy sim.Duration
+	var cpus int
+	for _, ho := range c.hosts {
+		t, rem := ho.counterTotals()
+		total += t
+		remote += rem
+		hostBusy := ho.H.TotalBusyTime()
+		busy += hostBusy
+		cpus += ho.Top.NumCPUs()
+		hr := HostReport{
+			Name:        ho.Name,
+			Placed:      ho.Placed,
+			Resident:    len(ho.VMs),
+			RemoteRatio: ho.remoteRatio(),
+		}
+		if c.cfg.Horizon > 0 {
+			hr.Utilization = hostBusy.Seconds() /
+				(float64(ho.Top.NumCPUs()) * c.cfg.Horizon.Seconds())
+		}
+		r.PerHost = append(r.PerHost, hr)
+	}
+	if total > 0 {
+		r.RemoteRatio = remote / total
+	}
+	if cpus > 0 && c.cfg.Horizon > 0 {
+		r.Utilization = busy.Seconds() / (float64(cpus) * c.cfg.Horizon.Seconds())
+	}
+	return r
+}
+
+// String renders the report as aligned tables.
+func (r *Report) String() string {
+	var b strings.Builder
+	sum := metrics.NewTable(
+		fmt.Sprintf("cluster: %d hosts, policy %s, per-host scheduler %s, %v horizon",
+			r.Hosts, r.Policy, r.Scheduler, r.Horizon),
+		"arrivals", "placed", "retries", "rejected", "departed", "migrations",
+		"reject-rate", "remote-ratio", "utilization")
+	sum.AddRow(
+		fmt.Sprint(r.Arrivals), fmt.Sprint(r.Placed), fmt.Sprint(r.Retries),
+		fmt.Sprint(r.Rejected), fmt.Sprint(r.Departed), fmt.Sprint(r.Migrations),
+		metrics.Pct(r.RejectionRate), metrics.Pct(r.RemoteRatio),
+		metrics.Pct(r.Utilization))
+	b.WriteString(sum.String())
+
+	ph := metrics.NewTable("per host", "host", "placed", "resident",
+		"remote-ratio", "utilization")
+	for _, h := range r.PerHost {
+		ph.AddRow(h.Name, fmt.Sprint(h.Placed), fmt.Sprint(h.Resident),
+			metrics.Pct(h.RemoteRatio), metrics.Pct(h.Utilization))
+	}
+	b.WriteString(ph.String())
+	return b.String()
+}

@@ -1,0 +1,75 @@
+package cluster
+
+import (
+	"vprobe/internal/sim"
+	"vprobe/internal/workload"
+	"vprobe/internal/xen"
+)
+
+// VMSpec is a placement request: the resources a VM asks for and the
+// workloads its VCPUs will run. Profiles[i] is bound to VCPU i; a nil
+// entry leaves that VCPU guest-idle.
+type VMSpec struct {
+	Name     string
+	MemoryMB int64
+	VCPUs    int
+	Profiles []*workload.Profile
+}
+
+// vmState is the cluster-side lifecycle of a VM.
+type vmState int
+
+const (
+	// statePending: arrived, not placed yet (possibly between retries).
+	statePending vmState = iota
+	// stateRunning: placed on a host.
+	stateRunning
+	// stateMigrating: being copied between hosts; the source domain is
+	// gone and the target domain is built but not yet activated.
+	stateMigrating
+	// stateRejected: gave up after exhausting placement retries.
+	stateRejected
+	// stateDeparted: lifetime over, torn down.
+	stateDeparted
+)
+
+// VM is one placement request tracked through its cluster lifetime.
+type VM struct {
+	ID   int
+	Spec VMSpec
+
+	// Host and dom are the current placement (nil until placed).
+	Host *Host
+	dom  *xen.Domain
+
+	state      vmState
+	retries    int
+	arriveAt   sim.Time
+	departAt   sim.Time // 0 until the first successful placement
+	placedAt   sim.Time // last (re)placement time, for migration cooldown
+	Migrations int
+}
+
+// migrationProfiles snapshots the remaining work of the VM's current
+// domain as fresh profiles for re-attachment on a migration target. Batch
+// apps carry over exactly their unretired instructions; endless apps
+// (servers, burners) restart their open-ended streams. Finished or
+// app-less VCPUs yield nil entries.
+func (vm *VM) migrationProfiles() []*workload.Profile {
+	out := make([]*workload.Profile, len(vm.dom.VCPUs))
+	for i, v := range vm.dom.VCPUs {
+		if v.App == nil || v.Done {
+			continue
+		}
+		p := v.App.Clone()
+		if !p.Endless() && !p.Server {
+			rem := v.RemainingInstructions()
+			if rem <= 0 {
+				continue
+			}
+			p.TotalInstructions = rem
+		}
+		out[i] = p
+	}
+	return out
+}

@@ -53,3 +53,15 @@ func (m *Migrator) Step(d Dist, node numa.NodeID, elapsed sim.Duration, footprin
 	d.ShiftToward(node, frac)
 	return moved * float64(footprintMB) * m.CostPerMBCycles
 }
+
+// FullCopyCycles is the cost of copying an entire memory image once — the
+// transfer term of an inter-host live migration, where every page crosses
+// the wire regardless of its NUMA placement. It reuses the per-megabyte
+// page-copy cost so intra-host page migration and inter-host VM migration
+// price memory movement consistently. A nil Migrator charges nothing.
+func (m *Migrator) FullCopyCycles(footprintMB int64) float64 {
+	if m == nil || footprintMB <= 0 {
+		return 0
+	}
+	return float64(footprintMB) * m.CostPerMBCycles
+}

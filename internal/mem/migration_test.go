@@ -1,0 +1,83 @@
+package mem
+
+import (
+	"math"
+	"testing"
+
+	"vprobe/internal/sim"
+)
+
+// TestMigratorStepCost pins the cost model: cycles charged equal the
+// fraction of pages actually moved times footprint times the per-MB cost.
+func TestMigratorStepCost(t *testing.T) {
+	m := &Migrator{RatePerSecond: 0.5, CostPerMBCycles: 2e6, MinRemoteFraction: 0.1}
+	d := Dist{0.2, 0.8}
+	remote := d.RemoteFraction(0) // 0.8
+	elapsed := sim.Second / 2     // frac = 0.5 * 0.5 = 0.25
+	moved := remote * 0.25
+	want := moved * 1000 * m.CostPerMBCycles
+	got := m.Step(d, 0, elapsed, 1000)
+	if math.Abs(got-want) > 1e-6*want {
+		t.Fatalf("Step cycles = %g, want %g", got, want)
+	}
+	// Cost scales linearly with footprint.
+	d2 := Dist{0.2, 0.8}
+	if got2 := m.Step(d2, 0, elapsed, 2000); math.Abs(got2-2*want) > 1e-6*want {
+		t.Fatalf("2x footprint cost = %g, want %g", got2, 2*want)
+	}
+}
+
+// TestMigratorStepFractionClamp asserts a long elapsed time moves at most
+// all remote pages: the move fraction clamps at 1 and the cost clamps with
+// it.
+func TestMigratorStepFractionClamp(t *testing.T) {
+	m := &Migrator{RatePerSecond: 0.2, CostPerMBCycles: 1e6, MinRemoteFraction: 0.05}
+	d := Dist{0.4, 0.6}
+	remote := d.RemoteFraction(0)
+	// 100 s at 0.2/s is frac 20 — clamped to 1, so exactly the remote
+	// pages move and the dist lands fully on the target node.
+	got := m.Step(d, 0, 100*sim.Second, 500)
+	want := remote * 500 * m.CostPerMBCycles
+	if math.Abs(got-want) > 1e-6*want {
+		t.Fatalf("clamped cost = %g, want %g", got, want)
+	}
+	if math.Abs(d[0]-1) > 1e-9 {
+		t.Fatalf("full shift left dist %v", d)
+	}
+}
+
+// TestMigratorMinRemoteGate asserts the churn gate: exactly at the
+// threshold migration still runs, just below it nothing moves.
+func TestMigratorMinRemoteGate(t *testing.T) {
+	m := &Migrator{RatePerSecond: 1, CostPerMBCycles: 1e6, MinRemoteFraction: 0.30}
+	at := Dist{0.70, 0.30}
+	if c := m.Step(at, 0, sim.Second, 100); c <= 0 {
+		t.Fatal("remote fraction == threshold should migrate")
+	}
+	below := Dist{0.71, 0.29}
+	if c := m.Step(below, 0, sim.Second, 100); c != 0 || below[0] != 0.71 {
+		t.Fatalf("below threshold migrated: cycles=%v dist=%v", c, below)
+	}
+}
+
+// TestFullCopyCycles pins the inter-host transfer term used by the cluster
+// rebalancer's blackout model.
+func TestFullCopyCycles(t *testing.T) {
+	m := DefaultMigrator()
+	if got, want := m.FullCopyCycles(1), m.CostPerMBCycles; got != want {
+		t.Fatalf("FullCopyCycles(1) = %g, want %g", got, want)
+	}
+	// Linear in footprint.
+	if m.FullCopyCycles(4096) != 4096*m.CostPerMBCycles {
+		t.Fatal("FullCopyCycles not linear in footprint")
+	}
+	// Non-positive footprints charge nothing.
+	if m.FullCopyCycles(0) != 0 || m.FullCopyCycles(-512) != 0 {
+		t.Fatal("non-positive footprint charged")
+	}
+	// Nil migrator charges nothing (migration disabled).
+	var nilM *Migrator
+	if nilM.FullCopyCycles(4096) != 0 {
+		t.Fatal("nil migrator charged cycles")
+	}
+}

@@ -82,6 +82,35 @@ func LoadFile(path string) (*Topology, error) {
 	return Decode(f)
 }
 
+// Export renders a topology back to the JSON file schema, so presets can
+// be dumped, edited, and reloaded through LoadFile. Topologies built by
+// New are homogeneous (same memory, cache, and link spec everywhere), so
+// the round trip Export -> Decode reproduces the topology exactly.
+func Export(t *Topology) FileConfig {
+	fc := FileConfig{
+		Name:               t.name,
+		Nodes:              len(t.nodes),
+		CPUsPerNode:        len(t.cpuNode) / len(t.nodes),
+		MemoryPerNodeMB:    t.nodes[0].MemoryMB,
+		IMCBandwidthGBs:    t.nodes[0].IMCBandwidthGBs,
+		LLCSizeKB:          t.nodes[0].LLCSizeKB,
+		ClockGHz:           t.clockGHz,
+		LocalMemLatencyNS:  t.localMemLatencyNS,
+		RemoteMemLatencyNS: t.remoteMemLatencyNS,
+		LLCHitLatencyNS:    t.llcHitLatencyNS,
+	}
+	if len(t.links) > 0 {
+		fc.LinkBandwidthGTs = t.links[0].BandwidthGTs
+		first := t.links[0]
+		for _, l := range t.links {
+			if l.A == first.A && l.B == first.B {
+				fc.LinksPerPair++
+			}
+		}
+	}
+	return fc
+}
+
 // Resolve returns a topology for a preset name or, when the name is not a
 // preset, treats it as a path to a JSON topology file. This is the lookup
 // the CLIs use.

@@ -1,6 +1,8 @@
 package numa
 
 import (
+	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -47,6 +49,40 @@ func TestDecodeErrors(t *testing.T) {
 	for i, c := range cases {
 		if _, err := Decode(strings.NewReader(c)); err == nil {
 			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+// TestExportRoundTrip dumps every preset to its JSON form, reloads it,
+// and asserts the rebuilt topology is indistinguishable from the original
+// (this is the contract behind vprobe-topo -json).
+func TestExportRoundTrip(t *testing.T) {
+	for name, mk := range Presets {
+		orig := mk()
+		fc := Export(orig)
+		data, err := json.Marshal(fc)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		back, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("%s: reload: %v", name, err)
+		}
+		if Export(back) != fc {
+			t.Fatalf("%s: round trip drifted:\n  out  %+v\n  back %+v", name, fc, Export(back))
+		}
+		if back.Name() != orig.Name() || back.NumNodes() != orig.NumNodes() ||
+			back.NumCPUs() != orig.NumCPUs() ||
+			back.TotalMemoryMB() != orig.TotalMemoryMB() ||
+			back.ClockGHz() != orig.ClockGHz() {
+			t.Fatalf("%s: rebuilt topology differs: %s vs %s", name, back, orig)
+		}
+		for a := 0; a < orig.NumNodes(); a++ {
+			for b := 0; b < orig.NumNodes(); b++ {
+				if back.MemLatencyNS(NodeID(a), NodeID(b)) != orig.MemLatencyNS(NodeID(a), NodeID(b)) {
+					t.Fatalf("%s: latency(%d,%d) drifted", name, a, b)
+				}
+			}
 		}
 	}
 }

@@ -1,0 +1,103 @@
+package xen_test
+
+import (
+	"testing"
+
+	"vprobe/internal/mem"
+	"vprobe/internal/sched"
+	"vprobe/internal/sim"
+	"vprobe/internal/workload"
+)
+
+// TestAddDomainAfterStart exercises the hot-add path the cluster layer
+// depends on: a domain added to a running hypervisor stays inert until
+// ActivateDomain, then runs, and destroying it returns its memory.
+func TestAddDomainAfterStart(t *testing.T) {
+	h := newHV(t, sched.KindCredit)
+
+	d0, err := h.CreateDomain("boot-vm", 2*1024, 2, mem.PolicyStripe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.AttachApp(d0, 0, workload.Hungry()); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Start(); err != nil {
+		t.Fatal(err)
+	}
+	h.Run(1 * sim.Second)
+
+	freeBefore := h.Alloc.TotalFreeMB()
+	d1, err := h.AddDomain("late-vm", 4*1024, 2, mem.PolicyLocal, 1)
+	if err != nil {
+		t.Fatalf("AddDomain after Start: %v", err)
+	}
+	if got := freeBefore - h.Alloc.TotalFreeMB(); got != 4*1024 {
+		t.Fatalf("AddDomain reserved %d MB, want %d", got, 4*1024)
+	}
+	if d1.MemDist.Home() != 1 {
+		t.Fatalf("PolicyLocal(1) homed on node %d", d1.MemDist.Home())
+	}
+
+	// Inert until activation: advancing the clock runs nothing of d1.
+	h.Run(2 * sim.Second)
+	for _, v := range d1.VCPUs {
+		if v.RunTime != 0 {
+			t.Fatalf("inactive domain ran %v", v.RunTime)
+		}
+	}
+
+	for i := 0; i < 2; i++ {
+		if _, err := h.AttachApp(d1, i, workload.Hungry()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := h.ActivateDomain(d1); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.ActivateDomain(d1); err == nil {
+		t.Fatal("double activation accepted")
+	}
+	h.Run(4 * sim.Second)
+	for _, v := range d1.VCPUs {
+		if v.RunTime == 0 {
+			t.Fatal("activated domain never ran")
+		}
+	}
+
+	if err := h.DestroyDomain(d1); err != nil {
+		t.Fatal(err)
+	}
+	if h.Alloc.TotalFreeMB() != freeBefore {
+		t.Fatalf("destroy freed to %d MB, want %d", h.Alloc.TotalFreeMB(), freeBefore)
+	}
+}
+
+func TestActivateDomainGuards(t *testing.T) {
+	h := newHV(t, sched.KindCredit)
+	d, err := h.CreateDomain("vm", 1024, 1, mem.PolicyFill)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.ActivateDomain(d); err == nil {
+		t.Fatal("ActivateDomain before Start accepted")
+	}
+	if err := h.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Start already activated the pre-existing domain.
+	if err := h.ActivateDomain(d); err == nil {
+		t.Fatal("re-activating a Start-placed domain accepted")
+	}
+
+	d2, err := h.AddDomain("late", 1024, 1, mem.PolicyFill, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.DestroyDomain(d2); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.ActivateDomain(d2); err == nil {
+		t.Fatal("activating a destroyed domain accepted")
+	}
+}

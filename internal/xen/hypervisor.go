@@ -130,15 +130,28 @@ func (h *Hypervisor) emit(kind EventKind, vcpu VCPUID, cpu numa.CPUID,
 
 // CreateDomain builds a VM with the given memory size (allocated with the
 // given placement policy) and VCPU count. VCPUs start without apps
-// (guest-idle, permanently blocked) until AttachApp.
+// (guest-idle, permanently blocked) until AttachApp. It refuses to run
+// after Start; dynamic hosts (the cluster layer) use AddDomain +
+// ActivateDomain instead.
 func (h *Hypervisor) CreateDomain(name string, memMB int64, vcpus int, pol mem.Policy) (*Domain, error) {
 	if h.started {
 		return nil, fmt.Errorf("xen: CreateDomain after Start")
 	}
+	return h.AddDomain(name, memMB, vcpus, pol, 0)
+}
+
+// AddDomain is CreateDomain without the pre-Start restriction: it builds
+// the domain and reserves its memory (honouring preferred for
+// mem.PolicyLocal) but does not place its VCPUs. Domains added to a
+// running hypervisor stay inert — memory reserved, VCPUs blocked — until
+// apps are attached and ActivateDomain is called, which models the
+// allocate → build → unpause sequence of a real domain creation or an
+// incoming live migration.
+func (h *Hypervisor) AddDomain(name string, memMB int64, vcpus int, pol mem.Policy, preferred numa.NodeID) (*Domain, error) {
 	if vcpus <= 0 {
 		return nil, fmt.Errorf("xen: domain %q with %d VCPUs", name, vcpus)
 	}
-	dist, err := h.Alloc.Alloc(memMB, pol, 0)
+	dist, err := h.Alloc.Alloc(memMB, pol, preferred)
 	if err != nil {
 		return nil, fmt.Errorf("xen: domain %q: %w", name, err)
 	}
@@ -222,38 +235,8 @@ func (h *Hypervisor) Start() error {
 	}
 	h.started = true
 
-	// Initial placement: each domain's app-carrying VCPUs land on a
-	// seeded random permutation of the PCPUs — a freshly booted guest's
-	// thread layout has no node balance guarantee, which is what leaves
-	// unbalanced LLC pressure for the partitioning mechanism to repair.
-	//
-	// Page placement is deferred: an app allocates during its first-touch
-	// window, accessing the VM-wide layout meanwhile; its pages then
-	// concentrate on the node where it actually ran (see finishFirstTouch).
 	for _, d := range h.Domains {
-		perm := h.RNG.Perm(len(h.PCPUs))
-		slot := 0
-		for _, v := range d.VCPUs {
-			if v.App == nil {
-				continue
-			}
-			var p *PCPU
-			if v.PinnedPCPU >= 0 {
-				p = h.PCPUs[v.PinnedPCPU]
-			} else {
-				p = h.PCPUs[perm[slot%len(perm)]]
-				slot++
-			}
-			v.StartNode = p.Node
-			v.PageDist = d.MemDist.Clone()
-			v.nodeTime = make([]sim.Duration, h.Top.NumNodes())
-			v.State = StateRunnable
-			p.Enqueue(v)
-			vv := v
-			h.Engine.Schedule(h.Config.FirstTouchDelay, "first-touch", func(*sim.Engine) {
-				h.finishFirstTouch(vv)
-			})
-		}
+		h.placeDomain(d)
 	}
 
 	// Credit tick: debit running VCPUs, fire policy tick hook.
@@ -291,18 +274,7 @@ func (h *Hypervisor) Start() error {
 	// the PMU signature changing under it.
 	if h.Config.GuestThreadMigrationMean > 0 {
 		for _, d := range h.Domains {
-			d := d
-			var arm func(*sim.Engine)
-			arm = func(*sim.Engine) {
-				h.swapGuestThreads(d)
-				wait := sim.Duration(h.RNG.Exp(float64(h.Config.GuestThreadMigrationMean)))
-				if wait < sim.Millisecond {
-					wait = sim.Millisecond
-				}
-				h.Engine.Schedule(wait, "guest-migrate", arm)
-			}
-			wait := sim.Duration(h.RNG.Exp(float64(h.Config.GuestThreadMigrationMean)))
-			h.Engine.Schedule(wait, "guest-migrate", arm)
+			h.armGuestMigration(d)
 		}
 	}
 
@@ -311,6 +283,83 @@ func (h *Hypervisor) Start() error {
 		p := p
 		h.Engine.Schedule(0, "boot", func(*sim.Engine) { h.schedule(p) })
 	}
+	return nil
+}
+
+// placeDomain performs initial placement of a domain's app-carrying VCPUs:
+// each lands on a seeded random permutation of the PCPUs — a freshly
+// booted guest's thread layout has no node balance guarantee, which is
+// what leaves unbalanced LLC pressure for the partitioning mechanism to
+// repair.
+//
+// Page placement is deferred: an app allocates during its first-touch
+// window, accessing the VM-wide layout meanwhile; its pages then
+// concentrate on the node where it actually ran (see finishFirstTouch).
+func (h *Hypervisor) placeDomain(d *Domain) {
+	d.activated = true
+	perm := h.RNG.Perm(len(h.PCPUs))
+	slot := 0
+	for _, v := range d.VCPUs {
+		if v.App == nil {
+			continue
+		}
+		var p *PCPU
+		if v.PinnedPCPU >= 0 {
+			p = h.PCPUs[v.PinnedPCPU]
+		} else {
+			p = h.PCPUs[perm[slot%len(perm)]]
+			slot++
+		}
+		v.StartNode = p.Node
+		v.PageDist = d.MemDist.Clone()
+		v.nodeTime = make([]sim.Duration, h.Top.NumNodes())
+		v.State = StateRunnable
+		p.Enqueue(v)
+		vv := v
+		h.Engine.Schedule(h.Config.FirstTouchDelay, "first-touch", func(*sim.Engine) {
+			h.finishFirstTouch(vv)
+		})
+	}
+}
+
+// armGuestMigration schedules the recurring guest-thread re-placement
+// events for one domain.
+func (h *Hypervisor) armGuestMigration(d *Domain) {
+	var arm func(*sim.Engine)
+	arm = func(*sim.Engine) {
+		if d.Destroyed {
+			return
+		}
+		h.swapGuestThreads(d)
+		wait := sim.Duration(h.RNG.Exp(float64(h.Config.GuestThreadMigrationMean)))
+		if wait < sim.Millisecond {
+			wait = sim.Millisecond
+		}
+		h.Engine.Schedule(wait, "guest-migrate", arm)
+	}
+	wait := sim.Duration(h.RNG.Exp(float64(h.Config.GuestThreadMigrationMean)))
+	h.Engine.Schedule(wait, "guest-migrate", arm)
+}
+
+// ActivateDomain places a domain added (via AddDomain) after Start: its
+// app-carrying VCPUs enter run queues, first-touch windows open, the
+// guest-thread migration timer arms, and idle PCPUs are kicked to pick the
+// new work up. Domains present before Start are activated by Start itself.
+func (h *Hypervisor) ActivateDomain(d *Domain) error {
+	if !h.started {
+		return fmt.Errorf("xen: ActivateDomain before Start")
+	}
+	if d.activated {
+		return fmt.Errorf("xen: domain %q already activated", d.Name)
+	}
+	if d.Destroyed {
+		return fmt.Errorf("xen: domain %q is destroyed", d.Name)
+	}
+	h.placeDomain(d)
+	if h.Config.GuestThreadMigrationMean > 0 {
+		h.armGuestMigration(d)
+	}
+	h.kickIdle()
 	return nil
 }
 

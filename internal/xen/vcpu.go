@@ -208,6 +208,9 @@ type Domain struct {
 	// Paused and Destroyed are lifecycle flags (see Hypervisor.PauseDomain).
 	Paused    bool
 	Destroyed bool
+	// activated flips once the domain's VCPUs have been placed (by Start,
+	// or by ActivateDomain for domains hot-added to a running host).
+	activated bool
 }
 
 // RunnableVCPUs returns the domain's runnable or running VCPUs.

@@ -1,0 +1,89 @@
+package vprobe_test
+
+import (
+	"testing"
+	"time"
+
+	"vprobe"
+)
+
+// TestTraceAndEventsFanOutTogether asserts the deprecated Config.Trace hook
+// and a typed Events sink can be set simultaneously and both observe the
+// full stream: same event count, and every trace line is the Detail of the
+// corresponding typed event.
+func TestTraceAndEventsFanOutTogether(t *testing.T) {
+	var lines []string
+	var details []string
+	sim, err := vprobe.NewSimulator(vprobe.Config{
+		Seed: 4,
+		Trace: func(at time.Duration, line string) {
+			lines = append(lines, line)
+		},
+		Events: vprobe.EventFunc(func(ev vprobe.Event) {
+			details = append(details, ev.Detail)
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := sim.AddVM(vprobe.VMConfig{Name: "vm", MemoryMB: 2 * 1024, VCPUs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.RunApp("soplex"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(500 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) == 0 {
+		t.Fatal("Trace hook saw nothing")
+	}
+	if len(lines) != len(details) {
+		t.Fatalf("Trace saw %d lines, Events saw %d", len(lines), len(details))
+	}
+	for i := range lines {
+		if lines[i] != details[i] {
+			t.Fatalf("record %d diverges:\n  trace:  %s\n  events: %s", i, lines[i], details[i])
+		}
+	}
+}
+
+// TestRunServerMemcachedMatchesTyped asserts the deprecated
+// RunServer("memcached", ...) shim is indistinguishable from the typed
+// RunMemcached helper.
+func TestRunServerMemcachedMatchesTyped(t *testing.T) {
+	build := func(attach func(vm *vprobe.VM) error) *vprobe.Report {
+		t.Helper()
+		sim, err := vprobe.NewSimulator(vprobe.Config{Seed: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		vm, err := sim.AddVM(vprobe.VMConfig{
+			Name: "srv", MemoryMB: 8 * 1024, VCPUs: 4, FillGuestIdle: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := attach(vm); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := sim.Run(2 * time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	typed := build(func(vm *vprobe.VM) error { return vm.RunMemcached(64) })
+	shim := build(func(vm *vprobe.VM) error { return vm.RunServer("memcached", 64) })
+	if typed.TotalRequests() <= 0 {
+		t.Fatal("memcached served no requests")
+	}
+	if typed.TotalRequests() != shim.TotalRequests() {
+		t.Fatalf("RunMemcached (%v reqs) and RunServer shim (%v reqs) diverge",
+			typed.TotalRequests(), shim.TotalRequests())
+	}
+	if typed.String() != shim.String() {
+		t.Fatal("typed and shim reports render differently")
+	}
+}
