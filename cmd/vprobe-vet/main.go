@@ -1,0 +1,115 @@
+// Command vprobe-vet is the repo's determinism-and-correctness linter: a
+// multichecker over the five custom analyzers that machine-check the
+// determinism contract (DESIGN.md §8). CI runs it next to go vet; locally,
+// `make lint` does the same.
+//
+// Usage:
+//
+//	vprobe-vet [-list] [-only name,name] [packages]
+//
+// Packages default to ./... resolved against the enclosing module. Exit
+// status: 0 clean, 1 findings, 2 usage or load failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"vprobe/internal/analysis/ctxflow"
+	"vprobe/internal/analysis/errsentinel"
+	"vprobe/internal/analysis/eventswitch"
+	"vprobe/internal/analysis/framework"
+	"vprobe/internal/analysis/mapiter"
+	"vprobe/internal/analysis/walltime"
+)
+
+var analyzers = []*framework.Analyzer{
+	ctxflow.Analyzer,
+	errsentinel.Analyzer,
+	eventswitch.Analyzer,
+	mapiter.Analyzer,
+	walltime.Analyzer,
+}
+
+func main() {
+	list := flag.Bool("list", false, "print the analyzers and exit")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default all)")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	active := analyzers
+	if *only != "" {
+		byName := make(map[string]*framework.Analyzer)
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		active = nil
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "vprobe-vet: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			active = append(active, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	ld, root, err := framework.NewModuleLoader(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	modPath, err := framework.ModulePath(root)
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := ld.LoadPatterns(root, modPath, patterns)
+	if err != nil {
+		fatal(err)
+	}
+
+	findings := 0
+	for _, pkg := range pkgs {
+		for _, a := range active {
+			diags, err := framework.RunAnalyzer(a, pkg)
+			if err != nil {
+				fatal(err)
+			}
+			for _, d := range diags {
+				pos := pkg.Fset.Position(d.Pos)
+				name := pos.Filename
+				if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+					name = rel
+				}
+				fmt.Printf("%s:%d:%d: [%s] %s\n", name, pos.Line, pos.Column, a.Name, d.Message)
+				findings++
+			}
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "vprobe-vet: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "vprobe-vet: %v\n", err)
+	os.Exit(2)
+}

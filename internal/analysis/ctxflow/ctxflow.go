@@ -1,0 +1,117 @@
+// Package ctxflow enforces context threading inside internal/: a function
+// that was handed a context.Context must pass that context on, never mint a
+// fresh context.Background() or context.TODO() that detaches its callees
+// from cancellation. Fresh root contexts belong in main functions and
+// tests; internal code that genuinely needs one (compatibility wrappers for
+// pre-context APIs) annotates the call `//vet:ctx <justification>`.
+//
+// Without this rule a single context.Background() buried in a helper makes
+// harness cancellation (PR 1) silently stop propagating: the suite reports
+// the run as cancelled while simulations keep burning CPU.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"vprobe/internal/analysis/framework"
+)
+
+// Analyzer is the ctxflow cancellation-propagation check.
+var Analyzer = &framework.Analyzer{
+	Name: "ctxflow",
+	Doc: "forbid context.Background/TODO in internal packages; thread the " +
+		"caller's ctx (suppress with //vet:ctx)",
+	Run: run,
+}
+
+func inScope(path string) bool {
+	if !strings.HasPrefix(path, "vprobe") {
+		return true // analysistest fixture tree
+	}
+	return strings.HasPrefix(path, "vprobe/internal/")
+}
+
+func run(pass *framework.Pass) (any, error) {
+	if !inScope(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		// funcs records enclosing function literals/declarations that
+		// have a context parameter, innermost last.
+		var ctxFuncs []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil && hasCtxParam(pass, fn.Type) {
+					ctxFuncs = append(ctxFuncs, fn)
+				}
+			case *ast.FuncLit:
+				if hasCtxParam(pass, fn.Type) {
+					ctxFuncs = append(ctxFuncs, fn)
+				}
+			case *ast.CallExpr:
+				checkCall(pass, fn, ctxFuncs)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func hasCtxParam(pass *framework.Pass, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if isContextType(pass.TypesInfo.TypeOf(field.Type)) {
+			return true
+		}
+	}
+	return false
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+func checkCall(pass *framework.Pass, call *ast.CallExpr, ctxFuncs []ast.Node) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return
+	}
+	if name := fn.Name(); name != "Background" && name != "TODO" {
+		return
+	}
+	if pass.Suppressed(call.Pos(), "ctx") {
+		return
+	}
+	// Tailor the message: minting a root context while one is in scope is
+	// the sharper bug (it severs an existing cancellation chain).
+	if enclosedByCtxFunc(call, ctxFuncs) {
+		pass.Reportf(call.Pos(),
+			"context.%s() discards the ctx already in scope; thread the caller's context (//vet:ctx to allow)", fn.Name())
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"context.%s() in internal package; accept a context.Context parameter and thread it (//vet:ctx to allow)", fn.Name())
+}
+
+func enclosedByCtxFunc(call *ast.CallExpr, ctxFuncs []ast.Node) bool {
+	for _, fn := range ctxFuncs {
+		if call.Pos() >= fn.Pos() && call.End() <= fn.End() {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"vprobe/internal/analysis/ctxflow"
+	"vprobe/internal/analysis/framework/analysistest"
+)
+
+func TestCtxFlow(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), ctxflow.Analyzer, "ctxflow_a")
+}

@@ -1,0 +1,42 @@
+// Package ctxflow_a is the ctxflow fixture.
+package ctxflow_a
+
+import "context"
+
+func needsCtx(ctx context.Context) error {
+	return nil
+}
+
+// severed holds a ctx but mints a fresh root for its callee.
+func severed(ctx context.Context) error {
+	return needsCtx(context.Background()) // want `context\.Background\(\) discards the ctx already in scope`
+}
+
+// rootless has no ctx and conjures one instead of accepting a parameter.
+func rootless() error {
+	return needsCtx(context.TODO()) // want `context\.TODO\(\) in internal package`
+}
+
+// threaded passes the caller's context on: clean.
+func threaded(ctx context.Context) error {
+	return needsCtx(ctx)
+}
+
+// derived contexts are threading, not severing: clean.
+func derived(ctx context.Context) error {
+	sub, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return needsCtx(sub)
+}
+
+// compat is the sanctioned escape for pre-context wrappers.
+func compat() error {
+	return needsCtx(context.Background()) //vet:ctx compat wrapper for pre-context callers
+}
+
+// literalScope: a func literal with its own ctx param counts as in-scope.
+func literalScope() func(context.Context) error {
+	return func(ctx context.Context) error {
+		return needsCtx(context.Background()) // want `context\.Background\(\) discards the ctx already in scope`
+	}
+}

@@ -1,0 +1,12 @@
+package errsentinel_test
+
+import (
+	"testing"
+
+	"vprobe/internal/analysis/errsentinel"
+	"vprobe/internal/analysis/framework/analysistest"
+)
+
+func TestErrSentinel(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), errsentinel.Analyzer, "errsentinel_a")
+}

@@ -1,0 +1,56 @@
+// Package errsentinel_a is the errsentinel fixture.
+package errsentinel_a
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBusy is a package sentinel callers match with errors.Is.
+var ErrBusy = errors.New("busy")
+
+// flattened loses the chain: errors.Is(err, ErrBusy) stops matching.
+func flattened(err error) error {
+	return fmt.Errorf("op failed: %v", err) // want `error formatted with %v loses the chain`
+}
+
+// stringed is the same bug through %s.
+func stringed(err error) error {
+	return fmt.Errorf("op failed: %s", err) // want `error formatted with %s loses the chain`
+}
+
+// plused: flags and modifiers do not hide the verb.
+func plused(err error) error {
+	return fmt.Errorf("op failed: %+v", err) // want `error formatted with %v loses the chain`
+}
+
+// wrapped keeps the chain: clean.
+func wrapped(err error) error {
+	return fmt.Errorf("op failed: %w", err)
+}
+
+// mixed wraps the error and prints the rest: clean.
+func mixed(name string, n int, err error) error {
+	return fmt.Errorf("%s[%d]: %w", name, n, err)
+}
+
+// widthArgs: a * width consumes an argument slot without shifting the
+// verb-to-argument mapping off the error.
+func widthArgs(pad int, err error) error {
+	return fmt.Errorf("%*d %v", pad, pad, err) // want `error formatted with %v loses the chain`
+}
+
+// noError formats plain values: clean.
+func noError(name string) error {
+	return fmt.Errorf("unknown profile %q (have %v)", name, []string{"a"})
+}
+
+// redacted deliberately flattens at an API boundary.
+func redacted(err error) error {
+	return fmt.Errorf("internal failure: %v", err) //vet:nowrap redact internals at the API boundary
+}
+
+// indexed formats are skipped rather than guessed at.
+func indexed(err error) error {
+	return fmt.Errorf("%[1]v", err)
+}

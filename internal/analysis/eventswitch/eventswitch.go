@@ -1,0 +1,104 @@
+// Package eventswitch requires switches over the repo's enum-like string
+// types — EventKind (root API, xen, cluster, harness) and the scheduler
+// registry's sched.Kind — to handle every declared constant. A `default:`
+// clause does not count as coverage: the motivating failure is an event
+// sink whose default arm silently drops a newly added cluster event kind,
+// so the report under-counts without any test noticing.
+//
+// A switch that intentionally handles a subset (e.g. a console sink that
+// only renders experiment-level progress) is annotated
+// `//vet:partial <justification>`.
+package eventswitch
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"vprobe/internal/analysis/framework"
+)
+
+// Analyzer is the eventswitch exhaustiveness check.
+var Analyzer = &framework.Analyzer{
+	Name: "eventswitch",
+	Doc: "require switches over EventKind/Kind enums to cover every " +
+		"declared constant (suppress with //vet:partial)",
+	Run: run,
+}
+
+// enumTypeName reports whether a named type is one of the contract's
+// enum-like types. Matching by name keeps the check portable to the
+// analysistest fixture tree; the repo has no unrelated types so named.
+func enumTypeName(name string) bool {
+	return name == "EventKind" || name == "Kind"
+}
+
+func run(pass *framework.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			checkSwitch(pass, sw)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func checkSwitch(pass *framework.Pass, sw *ast.SwitchStmt) {
+	named, ok := pass.TypesInfo.TypeOf(sw.Tag).(*types.Named)
+	if !ok || !enumTypeName(named.Obj().Name()) {
+		return
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Info()&(types.IsString|types.IsInteger) == 0 {
+		return
+	}
+	enum := enumConstants(named)
+	if len(enum) < 2 {
+		return
+	}
+	covered := make(map[string]bool)
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, expr := range cc.List {
+			if tv, ok := pass.TypesInfo.Types[expr]; ok && tv.Value != nil {
+				covered[tv.Value.ExactString()] = true
+			}
+		}
+	}
+	var missing []string
+	for _, c := range enum {
+		if !covered[c.Val().ExactString()] {
+			missing = append(missing, c.Name())
+		}
+	}
+	if len(missing) == 0 || pass.Suppressed(sw.Pos(), "partial") {
+		return
+	}
+	pass.Reportf(sw.Pos(),
+		"switch over %s misses %s; events must not be dropped silently — add the cases or annotate //vet:partial",
+		named.Obj().Name(), strings.Join(missing, ", "))
+}
+
+// enumConstants returns the package-level constants of exactly type named,
+// in the defining package's (sorted, deterministic) scope order.
+func enumConstants(named *types.Named) []*types.Const {
+	pkg := named.Obj().Pkg()
+	if pkg == nil {
+		return nil
+	}
+	var out []*types.Const
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		if c, ok := scope.Lookup(name).(*types.Const); ok && types.Identical(c.Type(), named) {
+			out = append(out, c)
+		}
+	}
+	return out
+}

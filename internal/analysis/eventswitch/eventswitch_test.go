@@ -1,0 +1,12 @@
+package eventswitch_test
+
+import (
+	"testing"
+
+	"vprobe/internal/analysis/eventswitch"
+	"vprobe/internal/analysis/framework/analysistest"
+)
+
+func TestEventSwitch(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), eventswitch.Analyzer, "eventswitch_a")
+}

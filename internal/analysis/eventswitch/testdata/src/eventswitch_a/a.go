@@ -1,0 +1,92 @@
+// Package eventswitch_a is the eventswitch fixture.
+package eventswitch_a
+
+// EventKind mirrors the repo's enum-like event label types.
+type EventKind string
+
+const (
+	EventStart  EventKind = "start"
+	EventTick   EventKind = "tick"
+	EventFinish EventKind = "finish"
+)
+
+// Kind mirrors the scheduler registry names.
+type Kind string
+
+const (
+	KindCredit Kind = "credit"
+	KindVProbe Kind = "vprobe"
+)
+
+// full covers every constant: clean.
+func full(k EventKind) int {
+	switch k {
+	case EventStart:
+		return 1
+	case EventTick:
+		return 2
+	case EventFinish:
+		return 3
+	}
+	return 0
+}
+
+// drops misses EventTick; the default arm does not excuse the gap.
+func drops(k EventKind) int {
+	switch k { // want `switch over EventKind misses EventTick`
+	case EventStart:
+		return 1
+	case EventFinish:
+		return 3
+	default:
+		return 0
+	}
+}
+
+// multiCase lists two kinds in one clause: still counted.
+func multiCase(k EventKind) bool {
+	switch k {
+	case EventStart, EventFinish:
+		return true
+	case EventTick:
+		return false
+	}
+	return false
+}
+
+// converted matches by value even through a conversion: counted.
+func converted(k EventKind) bool {
+	switch k {
+	case EventKind("start"), EventTick, EventFinish:
+		return true
+	}
+	return false
+}
+
+// partial is the sanctioned subset-sink escape.
+func partial(k EventKind) bool {
+	//vet:partial console sink renders start/finish only
+	switch k {
+	case EventStart, EventFinish:
+		return true
+	}
+	return false
+}
+
+// registry switches over Kind are held to the same rule.
+func registry(k Kind) int {
+	switch k { // want `switch over Kind misses KindVProbe`
+	case KindCredit:
+		return 1
+	}
+	return 0
+}
+
+// plainString is not an enum type: ignored.
+func plainString(s string) bool {
+	switch s {
+	case "a":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,142 @@
+// Package framework is a minimal, dependency-free re-implementation of the
+// golang.org/x/tools/go/analysis vocabulary: an Analyzer holds a name, a doc
+// string, and a Run function; a Pass hands the Run function one typechecked
+// package plus a Report callback for diagnostics.
+//
+// The build environment for this repository is a zero-dependency module (no
+// network, no module proxy), so the real x/tools framework cannot be pulled
+// in. The types here keep the same field names and shapes as x/tools so
+// that, the day the dependency can be pinned, migrating an analyzer is a
+// one-line import change. See DESIGN.md §8 "Determinism contract".
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one static check. It mirrors analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -only filters.
+	Name string
+	// Doc is the one-paragraph help text (first line is the summary).
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) (any, error)
+}
+
+// Diagnostic is one finding, anchored at a token position. It mirrors
+// analysis.Diagnostic (minus suggested fixes).
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Pass carries one typechecked package through an Analyzer.Run call. It
+// mirrors analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+
+	// directives maps filename -> line -> directive names present on that
+	// line, built lazily from the files' comments.
+	directives map[string]map[int][]string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// DirectivePrefix introduces suppression comments: `//vet:<name>` on the
+// flagged line, or alone on the line directly above it. Anything after the
+// name (separated by a space) is free-form justification.
+const DirectivePrefix = "vet:"
+
+// Suppressed reports whether a `//vet:<name>` directive covers pos: on the
+// same line as pos or on the line immediately above.
+func (p *Pass) Suppressed(pos token.Pos, name string) bool {
+	if p.directives == nil {
+		p.directives = collectDirectives(p.Fset, p.Files)
+	}
+	position := p.Fset.Position(pos)
+	lines := p.directives[position.Filename]
+	for _, line := range []int{position.Line, position.Line - 1} {
+		for _, d := range lines[line] {
+			if d == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// collectDirectives scans every comment of every file for //vet: markers,
+// keyed by the line the comment starts on.
+func collectDirectives(fset *token.FileSet, files []*ast.File) map[string]map[int][]string {
+	out := make(map[string]map[int][]string)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				if !strings.HasPrefix(text, DirectivePrefix) {
+					continue
+				}
+				name := strings.TrimPrefix(text, DirectivePrefix)
+				if i := strings.IndexAny(name, " \t—"); i >= 0 {
+					name = name[:i]
+				}
+				if name == "" {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				if out[pos.Filename] == nil {
+					out[pos.Filename] = make(map[int][]string)
+				}
+				out[pos.Filename][pos.Line] = append(out[pos.Filename][pos.Line], name)
+			}
+		}
+	}
+	return out
+}
+
+// RunAnalyzer applies a to pkg and returns the diagnostics sorted by
+// position. Errors from the analyzer itself (not findings) are returned.
+func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		Report:    func(d Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+	}
+	sortDiagnostics(pkg.Fset, diags)
+	return diags, nil
+}
+
+// sortDiagnostics orders findings by file, then line, then column, then
+// message, so vprobe-vet output is stable run to run (the linter holds
+// itself to the determinism contract it enforces).
+func sortDiagnostics(fset *token.FileSet, diags []Diagnostic) {
+	key := func(d Diagnostic) string {
+		p := fset.Position(d.Pos)
+		return fmt.Sprintf("%s\x00%08d\x00%08d\x00%s", p.Filename, p.Line, p.Column, d.Message)
+	}
+	for i := 1; i < len(diags); i++ {
+		for j := i; j > 0 && key(diags[j]) < key(diags[j-1]); j-- {
+			diags[j], diags[j-1] = diags[j-1], diags[j]
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package framework_test
+
+import (
+	"go/token"
+	"testing"
+
+	"vprobe/internal/analysis/framework"
+	"vprobe/internal/analysis/framework/analysistest"
+)
+
+// TestModuleLoader typechecks a real package of the enclosing module,
+// proving import resolution works for module-internal and stdlib imports.
+func TestModuleLoader(t *testing.T) {
+	ld, root, err := framework.NewModuleLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	modPath, err := framework.ModulePath(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if modPath != "vprobe" {
+		t.Fatalf("module path = %q, want vprobe", modPath)
+	}
+	pkg, err := ld.Load("vprobe/internal/sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg.Types.Name() != "sim" {
+		t.Fatalf("package name = %q, want sim", pkg.Types.Name())
+	}
+	if pkg.Types.Scope().Lookup("Clock") == nil && pkg.Types.Scope().Lookup("Time") == nil {
+		t.Fatal("expected sim package scope to expose its clock types")
+	}
+}
+
+// TestLoadPatterns expands ./... over a synthesized module and prunes
+// testdata.
+func TestLoadPatterns(t *testing.T) {
+	dir := t.TempDir()
+	analysistest.MustWriteTree(t, dir, map[string]string{
+		"go.mod":            "module example.test\n\ngo 1.22\n",
+		"a/a.go":            "package a\n\nfunc A() int { return 1 }\n",
+		"a/testdata/bad.go": "package broken\n\nfunc !!!\n",
+		"b/b.go":            "package b\n\nimport \"example.test/a\"\n\nvar _ = a.A\n",
+		"b/skip_test.go":    "package b\n\nthis is not go\n",
+		"_ignored/x.go":     "package x\n",
+		".hidden/y.go":      "package y\n",
+	})
+	ld, root, err := framework.NewModuleLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := ld.LoadPatterns(root, "example.test", []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var paths []string
+	for _, p := range pkgs {
+		paths = append(paths, p.Path)
+	}
+	want := []string{"example.test/a", "example.test/b"}
+	if len(paths) != len(want) {
+		t.Fatalf("loaded %v, want %v", paths, want)
+	}
+	for i := range want {
+		if paths[i] != want[i] {
+			t.Fatalf("loaded %v, want %v", paths, want)
+		}
+	}
+}
+
+// TestSuppressed covers same-line and line-above directive placement.
+func TestSuppressed(t *testing.T) {
+	dir := t.TempDir()
+	analysistest.MustWriteTree(t, dir, map[string]string{
+		"p/p.go": `package p
+
+func A() int { return 1 } //vet:ordered same line
+
+//vet:partial line above
+func B() int { return 2 }
+
+func C() int { return 3 }
+`,
+	})
+	ld := framework.NewTreeLoader(dir)
+	pkg, err := ld.Load("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass := &framework.Pass{Fset: pkg.Fset, Files: pkg.Files}
+	posOf := func(line int) token.Pos {
+		f := pkg.Fset.File(pkg.Files[0].Pos())
+		return f.LineStart(line)
+	}
+	if !pass.Suppressed(posOf(3), "ordered") {
+		t.Error("same-line directive not seen")
+	}
+	if !pass.Suppressed(posOf(6), "partial") {
+		t.Error("line-above directive not seen")
+	}
+	if pass.Suppressed(posOf(8), "ordered") || pass.Suppressed(posOf(8), "partial") {
+		t.Error("unrelated line reported suppressed")
+	}
+}

@@ -1,0 +1,259 @@
+// Package mapiter flags `range` loops over maps whose bodies produce
+// order-sensitive output: appending to a slice declared outside the loop
+// with no deterministic sort afterwards, writing to an output sink (fmt
+// printing, io/table/event sinks, channel sends), or accumulating into an
+// outer floating-point variable (float addition is not associative, so the
+// sum depends on Go's randomized map order).
+//
+// Map iteration order is the single easiest way to break the repo's
+// byte-identical-replay guarantee, so the determinism contract requires the
+// keys-then-sort idiom on any map iteration that feeds a report, export, or
+// event stream. A loop whose order is genuinely irrelevant (or sorted by
+// other means) is annotated `//vet:ordered` with a justification.
+package mapiter
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"vprobe/internal/analysis/framework"
+)
+
+// Analyzer is the mapiter determinism check.
+var Analyzer = &framework.Analyzer{
+	Name: "mapiter",
+	Doc: "flag map iterations that feed order-sensitive sinks without a " +
+		"deterministic sort (suppress with //vet:ordered)",
+	Run: run,
+}
+
+// scopePrefixes are the packages the determinism contract covers: the
+// simulation core and everything that computes or exports results.
+var scopePrefixes = []string{
+	"vprobe/internal/sim",
+	"vprobe/internal/core",
+	"vprobe/internal/sched",
+	"vprobe/internal/cluster",
+	"vprobe/internal/experiments",
+	"vprobe/internal/mem",
+	"vprobe/internal/numa",
+	"vprobe/internal/xen",
+}
+
+func inScope(path string) bool {
+	if !strings.HasPrefix(path, "vprobe") {
+		return true // analysistest fixture tree
+	}
+	for _, p := range scopePrefixes {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// sinkMethods are method names treated as order-sensitive output targets.
+var sinkMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Emit": true, "HandleEvent": true, "AddRow": true, "Encode": true,
+	"Record": true, "Publish": true, "Push": true,
+}
+
+func run(pass *framework.Pass) (any, error) {
+	if !inScope(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			list := stmtList(n)
+			for i, stmt := range list {
+				rs, ok := unlabel(stmt).(*ast.RangeStmt)
+				if !ok {
+					continue
+				}
+				checkRange(pass, rs, list[i+1:])
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// stmtList returns the statement list a node carries, if any; every
+// statement (range loops included) lives in exactly one such list.
+func stmtList(n ast.Node) []ast.Stmt {
+	switch n := n.(type) {
+	case *ast.BlockStmt:
+		return n.List
+	case *ast.CaseClause:
+		return n.Body
+	case *ast.CommClause:
+		return n.Body
+	}
+	return nil
+}
+
+func unlabel(s ast.Stmt) ast.Stmt {
+	for {
+		ls, ok := s.(*ast.LabeledStmt)
+		if !ok {
+			return s
+		}
+		s = ls.Stmt
+	}
+}
+
+// checkRange analyzes one range statement; tail is the rest of the
+// enclosing statement list, searched for a sort of appended-to slices.
+func checkRange(pass *framework.Pass, rs *ast.RangeStmt, tail []ast.Stmt) {
+	t := pass.TypesInfo.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if _, isMap := t.Underlying().(*types.Map); !isMap {
+		return
+	}
+	if pass.Suppressed(rs.Pos(), "ordered") {
+		return
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(),
+				"channel send inside map iteration publishes values in randomized order; iterate sorted keys or annotate //vet:ordered")
+		case *ast.CallExpr:
+			checkSinkCall(pass, n)
+		case *ast.AssignStmt:
+			checkAssign(pass, rs, tail, n)
+		}
+		return true
+	})
+}
+
+// checkSinkCall flags calls that emit output from inside the loop body.
+func checkSinkCall(pass *framework.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	name := sel.Sel.Name
+	if !sinkMethods[name] {
+		return
+	}
+	// Package-level fmt.Print* / fmt.Fprint* and any method of the same
+	// names (io.Writer, strings.Builder, event sinks, metric tables).
+	if fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil {
+		pass.Reportf(call.Pos(),
+			"%s inside map iteration writes in randomized order; iterate sorted keys or annotate //vet:ordered", name)
+	}
+}
+
+// checkAssign flags (a) appends into slices declared outside the loop that
+// are not sorted afterwards and (b) compound floating-point accumulation
+// into outer variables.
+func checkAssign(pass *framework.Pass, rs *ast.RangeStmt, tail []ast.Stmt, as *ast.AssignStmt) {
+	for i, lhs := range as.Lhs {
+		obj := baseObject(pass, lhs)
+		if obj == nil || within(obj.Pos(), rs) {
+			continue
+		}
+		if as.Tok == token.ASSIGN || as.Tok == token.DEFINE {
+			if i < len(as.Rhs) && isAppendCall(pass, as.Rhs[i]) && !sortedLater(pass, tail, obj) {
+				pass.Reportf(as.Pos(),
+					"append to %s inside map iteration without a later sort; sort it (sort/slices) after the loop or annotate //vet:ordered", obj.Name())
+			}
+			continue
+		}
+		// Compound assignment: only floating-point accumulation is
+		// order-sensitive (integer +=, counters, etc. are commutative).
+		if isFloat(pass.TypesInfo.TypeOf(lhs)) {
+			pass.Reportf(as.Pos(),
+				"floating-point accumulation into %s inside map iteration is order-dependent; iterate sorted keys or annotate //vet:ordered", obj.Name())
+		}
+	}
+}
+
+// baseObject resolves the root identifier of an assignable expression
+// (x, x.f, x[i], *x ...) to its object.
+func baseObject(pass *framework.Pass, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return pass.TypesInfo.ObjectOf(x)
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func within(pos token.Pos, rs *ast.RangeStmt) bool {
+	return pos >= rs.Pos() && pos <= rs.End()
+}
+
+func isAppendCall(pass *framework.Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.ObjectOf(id).(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// sortedLater reports whether a later statement of the enclosing block
+// passes obj to a sort.* or slices.* call — the keys-then-sort idiom.
+func sortedLater(pass *framework.Pass, tail []ast.Stmt, obj types.Object) bool {
+	for _, stmt := range tail {
+		found := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+				return true
+			}
+			for _, arg := range call.Args {
+				ast.Inspect(arg, func(an ast.Node) bool {
+					if id, ok := an.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == obj {
+						found = true
+					}
+					return !found
+				})
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

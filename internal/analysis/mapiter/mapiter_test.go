@@ -1,0 +1,12 @@
+package mapiter_test
+
+import (
+	"testing"
+
+	"vprobe/internal/analysis/framework/analysistest"
+	"vprobe/internal/analysis/mapiter"
+)
+
+func TestMapIter(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), mapiter.Analyzer, "mapiter_a")
+}

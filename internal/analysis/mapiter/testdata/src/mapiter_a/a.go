@@ -1,0 +1,100 @@
+// Package mapiter_a is the mapiter fixture: each function exercises one
+// flagged or deliberately-clean iteration shape.
+package mapiter_a
+
+import (
+	"fmt"
+	"sort"
+)
+
+// sortedKeys is the canonical keys-then-sort idiom: append feeds a sort, so
+// the loop is clean.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// unsortedKeys leaks map order into the returned slice.
+func unsortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to keys inside map iteration without a later sort`
+	}
+	return keys
+}
+
+// printValues writes in randomized order.
+func printValues(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `Println inside map iteration writes in randomized order`
+	}
+}
+
+// sendValues publishes in randomized order.
+func sendValues(m map[string]int, ch chan int) {
+	for _, v := range m {
+		ch <- v // want `channel send inside map iteration publishes values in randomized order`
+	}
+}
+
+// floatSum accumulates floats in randomized order (non-associative).
+func floatSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `floating-point accumulation into sum inside map iteration`
+	}
+	return sum
+}
+
+// intSum is exact integer arithmetic: commutative, clean.
+func intSum(m map[string]int) int {
+	var sum int
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// suppressed carries the contract's escape hatch.
+func suppressed(m map[string]int) []string {
+	var keys []string
+	//vet:ordered caller sorts before rendering
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// sliceAppend ranges a slice, not a map: out of scope.
+func sliceAppend(s []string) []string {
+	var out []string
+	for _, v := range s {
+		out = append(out, v)
+	}
+	return out
+}
+
+// innerAppend appends to a slice born inside the loop body: clean.
+func innerAppend(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		local := make([]int, 0, len(vs))
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}
+
+// sortSlice uses sort.Slice with a comparator: still recognized.
+func sortSlice(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}

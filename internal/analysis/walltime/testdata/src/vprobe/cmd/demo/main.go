@@ -1,0 +1,13 @@
+// Command demo proves the cmd/ tree is exempt from walltime: front-ends
+// may measure real execution time.
+package main
+
+import (
+	"fmt"
+	"time"
+)
+
+func main() {
+	start := time.Now()
+	fmt.Println(time.Since(start))
+}

@@ -1,0 +1,35 @@
+// Package walltime_a is the walltime fixture.
+package walltime_a
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wall() time.Duration {
+	start := time.Now()      // want `wall-clock time\.Now in simulation code`
+	return time.Since(start) // want `wall-clock time\.Since in simulation code`
+}
+
+func sleepy() {
+	time.Sleep(time.Millisecond) // want `wall-clock time\.Sleep in simulation code`
+}
+
+func draw() int {
+	return rand.Intn(10) // want `rand\.Intn is not seed-stable`
+}
+
+func seeded() *rand.Rand {
+	return rand.New(rand.NewSource(42)) // want `rand\.New is not seed-stable` `rand\.NewSource is not seed-stable`
+}
+
+func measured() time.Duration {
+	start := time.Now() //vet:wallclock deliberate wall measurement in fixture
+	_ = start
+	// Pure time types and constructors stay legal.
+	return 5 * time.Millisecond
+}
+
+func legalTime() time.Time {
+	return time.Unix(0, 0)
+}

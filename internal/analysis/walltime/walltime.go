@@ -1,0 +1,74 @@
+// Package walltime forbids wall-clock and globally-seeded randomness inside
+// the simulation tree: time.Now/Since/Sleep/... and any use of math/rand
+// (including rand.New(rand.NewSource(...))) make runs depend on the host
+// instead of the seed. Simulated code reads time from the sim engine's
+// virtual clock and randomness from the named-stream SplitMix64 RNG
+// (sim.NewRNG / RNG.Fork), which are stable across hosts and Go releases.
+//
+// Command-line front-ends (cmd/, examples/) and the experiment harness
+// (internal/harness), which legitimately measure real execution time for
+// progress reporting, are exempt by path. Individual lines are exempted
+// with `//vet:wallclock <justification>`.
+package walltime
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"vprobe/internal/analysis/framework"
+)
+
+// Analyzer is the walltime determinism check.
+var Analyzer = &framework.Analyzer{
+	Name: "walltime",
+	Doc: "forbid wall-clock time and global math/rand in simulation code " +
+		"(suppress with //vet:wallclock)",
+	Run: run,
+}
+
+// bannedTime are the time-package functions that read or act on the host
+// clock. Pure types and constructors (time.Duration, time.Unix) stay legal.
+var bannedTime = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+func exempt(path string) bool {
+	return strings.HasPrefix(path, "vprobe/cmd") ||
+		strings.HasPrefix(path, "vprobe/examples") ||
+		path == "vprobe/internal/harness"
+}
+
+func run(pass *framework.Pass) (any, error) {
+	if exempt(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if bannedTime[fn.Name()] && !pass.Suppressed(sel.Pos(), "wallclock") {
+					pass.Reportf(sel.Pos(),
+						"wall-clock time.%s in simulation code; use the sim virtual clock, or //vet:wallclock for real measurement paths", fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if !pass.Suppressed(sel.Pos(), "wallclock") {
+					pass.Reportf(sel.Pos(),
+						"rand.%s is not seed-stable across Go releases; use the named-stream sim RNG (sim.NewRNG / Fork)", fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

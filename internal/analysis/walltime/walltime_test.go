@@ -1,0 +1,18 @@
+package walltime_test
+
+import (
+	"testing"
+
+	"vprobe/internal/analysis/framework/analysistest"
+	"vprobe/internal/analysis/walltime"
+)
+
+func TestWallTime(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), walltime.Analyzer,
+		"walltime_a",
+		// Exempt-by-path trees: fixtures under the module's own prefix
+		// prove cmd/ and the harness stay lintable but unflagged.
+		"vprobe/cmd/demo",
+		"vprobe/internal/harness",
+	)
+}
