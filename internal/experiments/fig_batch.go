@@ -87,14 +87,16 @@ func execMetric(runs []metrics.AppRun, mixBase map[string]float64, threaded bool
 		for _, r := range runs {
 			byApp[r.App] = append(byApp[r.App], r.ExecTime.Seconds())
 		}
+		// Iterate apps in sorted order: float addition is not associative,
+		// so summing in map order would make the mix metric run-dependent.
 		var sum float64
 		var n int
-		for app, times := range byApp {
+		for _, app := range metrics.SortedKeys(byApp) {
 			base := mixBase[app]
 			if base <= 0 {
 				continue
 			}
-			sum += sim.Mean(times) / base
+			sum += sim.Mean(byApp[app]) / base
 			n++
 		}
 		if n == 0 {
