@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 )
 
 // FileConfig is the JSON schema for user-supplied topologies, mirroring
@@ -130,5 +131,6 @@ func presetNameList() []string {
 	for n := range Presets {
 		names = append(names, n)
 	}
+	sort.Strings(names)
 	return names
 }
