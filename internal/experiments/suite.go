@@ -61,7 +61,7 @@ func RunSuite(ctx context.Context, ids []string, opts Options) ([]SuiteItem, err
 			opts.Events.Emit(ev)
 		}
 	}
-	suiteStart := time.Now()
+	suiteWatch := harness.StartStopwatch()
 	emit(harness.Event{Kind: harness.EventSuiteStarted, Jobs: len(exps), Workers: workers})
 
 	// Each worker slot runs one experiment at a time; the experiment's own
@@ -92,9 +92,9 @@ func RunSuite(ctx context.Context, ids []string, opts Options) ([]SuiteItem, err
 			})
 
 			emit(harness.Event{Kind: harness.EventExperimentStarted, Experiment: e.ID})
-			start := time.Now()
+			watch := harness.StartStopwatch()
 			res, err := e.run(runCtx, ropts)
-			wall := time.Since(start)
+			wall := watch.Elapsed()
 
 			items[i].Result = res
 			items[i].Err = err
@@ -124,6 +124,6 @@ func RunSuite(ctx context.Context, ids []string, opts Options) ([]SuiteItem, err
 		}
 	}
 	emit(harness.Event{Kind: harness.EventSuiteFinished,
-		Jobs: len(exps), Workers: workers, Wall: time.Since(suiteStart)})
+		Jobs: len(exps), Workers: workers, Wall: suiteWatch.Elapsed()})
 	return items, err
 }

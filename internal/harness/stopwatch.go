@@ -1,0 +1,23 @@
+package harness
+
+import "time"
+
+// Stopwatch measures real execution time for progress events. It lives in
+// package harness deliberately: the determinism contract (DESIGN.md §8)
+// bans wall-clock reads everywhere else in the simulation tree, and the
+// harness — whose events report execution progress, never results — is the
+// one sanctioned home for them. Callers that need a wall duration take a
+// Stopwatch instead of importing time.Now themselves.
+type Stopwatch struct {
+	start time.Time
+}
+
+// StartStopwatch begins timing now.
+func StartStopwatch() Stopwatch {
+	return Stopwatch{start: time.Now()}
+}
+
+// Elapsed returns the wall-clock time since the stopwatch started.
+func (s Stopwatch) Elapsed() time.Duration {
+	return time.Since(s.start)
+}

@@ -1,0 +1,26 @@
+package harness
+
+import (
+	"testing"
+	"time"
+)
+
+func TestStopwatchElapsed(t *testing.T) {
+	sw := StartStopwatch()
+	if d := sw.Elapsed(); d < 0 {
+		t.Fatalf("Elapsed() = %v, want >= 0", d)
+	}
+	time.Sleep(time.Millisecond)
+	if d := sw.Elapsed(); d < time.Millisecond {
+		t.Fatalf("Elapsed() = %v after 1ms sleep, want >= 1ms", d)
+	}
+}
+
+func TestStopwatchMonotone(t *testing.T) {
+	sw := StartStopwatch()
+	a := sw.Elapsed()
+	b := sw.Elapsed()
+	if b < a {
+		t.Fatalf("Elapsed went backwards: %v then %v", a, b)
+	}
+}
