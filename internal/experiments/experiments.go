@@ -137,6 +137,7 @@ type Experiment struct {
 // Run executes the experiment without cancellation support; it is a thin
 // wrapper over RunContext for callers that predate the context API.
 func (e *Experiment) Run(opts Options) (*Result, error) {
+	//vet:ctx compat wrapper for pre-context callers; a background context never cancels
 	return e.run(context.Background(), opts)
 }
 

@@ -113,6 +113,7 @@ func NewConsole(w io.Writer) *Console { return &Console{w: w} }
 func (c *Console) Emit(ev Event) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	//vet:partial scenario-finished events are dropped on purpose to keep console output short
 	switch ev.Kind {
 	case EventSuiteStarted:
 		fmt.Fprintf(c.w, "running %d experiments on %d workers\n", ev.Jobs, ev.Workers)

@@ -827,6 +827,7 @@ func (h *Hypervisor) MigrateToNode(v *VCPU, node numa.NodeID) {
 // Run advances the simulation until the horizon or until watched domains
 // complete, and returns the stop time.
 func (h *Hypervisor) Run(horizon sim.Duration) sim.Time {
+	//vet:ctx compat wrapper for pre-context callers; a background context never cancels
 	end, err := h.RunContext(context.Background(), horizon)
 	if err != nil {
 		panic(err) // background context never cancels; only Start can fail
