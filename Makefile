@@ -1,0 +1,32 @@
+# Local workflow mirror of .github/workflows/ci.yml: the same four gates,
+# in the same order, so a green `make` is a green CI run.
+#
+# The vprobe-vet linter is built from this module (internal/analysis) on a
+# dependency-free go/analysis-style framework; no tools need installing.
+# See DESIGN.md §8 "Determinism contract" for the rules it enforces.
+
+GO ?= go
+
+.PHONY: all build vet lint test race smoke
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# lint = go vet + the determinism contract (mapiter, walltime, ctxflow,
+# eventswitch, errsentinel). `go run ./cmd/vprobe-vet -list` shows them.
+lint: vet
+	$(GO) run ./cmd/vprobe-vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+smoke:
+	$(GO) run ./cmd/vprobe-cluster -hosts 2 -horizon 30s -seed 1
