@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race smoke
+.PHONY: all build vet lint test race smoke bench
 
 all: build lint test
 
@@ -30,3 +30,11 @@ race:
 
 smoke:
 	$(GO) run ./cmd/vprobe-cluster -hosts 2 -horizon 30s -seed 1
+
+# bench runs the hot-path micro-benchmarks and appends a snapshot (ns/op,
+# B/op, allocs/op per benchmark) to BENCH_hotpath.json. Override LABEL to
+# name the snapshot after the change being measured.
+LABEL ?= local
+bench:
+	$(GO) test -run '^$$' -bench 'QuantumHotPath|SimulationSecond|PerfExecute|PickSteal|^BenchmarkPartition$$' -benchtime 2s . \
+		| $(GO) run ./cmd/vprobe-bench -label '$(LABEL)'

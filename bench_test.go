@@ -48,23 +48,27 @@ func runExperiment(b *testing.B, id string, opts experiments.Options) *experimen
 
 // BenchmarkTable1 regenerates the platform description (paper Table I).
 func BenchmarkTable1(b *testing.B) {
+	b.ReportAllocs()
 	runExperiment(b, "table1", benchOpts())
 }
 
 // BenchmarkFig1 regenerates the Credit remote-access ratios (paper Fig. 1).
 func BenchmarkFig1(b *testing.B) {
+	b.ReportAllocs()
 	res := runExperiment(b, "fig1", benchOpts())
 	b.ReportMetric(100*res.Get("page-remote/credit", "soplex"), "soplex_page_remote_pct")
 }
 
 // BenchmarkFig3 regenerates the bound calibration (paper Fig. 3).
 func BenchmarkFig3(b *testing.B) {
+	b.ReportAllocs()
 	res := runExperiment(b, "fig3", benchOpts())
 	b.ReportMetric(res.Get("rpti/solo", "libquantum"), "libquantum_rpti")
 }
 
 // BenchmarkFig4 regenerates the SPEC comparison (paper Fig. 4).
 func BenchmarkFig4(b *testing.B) {
+	b.ReportAllocs()
 	opts := benchOpts()
 	opts.Schedulers = []sched.Kind{sched.KindCredit, sched.KindVProbe}
 	res := runExperiment(b, "fig4", opts)
@@ -73,6 +77,7 @@ func BenchmarkFig4(b *testing.B) {
 
 // BenchmarkFig5 regenerates the NPB comparison (paper Fig. 5).
 func BenchmarkFig5(b *testing.B) {
+	b.ReportAllocs()
 	opts := benchOpts()
 	opts.Schedulers = []sched.Kind{sched.KindCredit, sched.KindVProbe}
 	res := runExperiment(b, "fig5", opts)
@@ -81,6 +86,7 @@ func BenchmarkFig5(b *testing.B) {
 
 // BenchmarkFig6 regenerates the memcached sweep (paper Fig. 6).
 func BenchmarkFig6(b *testing.B) {
+	b.ReportAllocs()
 	opts := benchOpts()
 	opts.Schedulers = []sched.Kind{sched.KindCredit, sched.KindVProbe}
 	res := runExperiment(b, "fig6", opts)
@@ -89,6 +95,7 @@ func BenchmarkFig6(b *testing.B) {
 
 // BenchmarkFig7 regenerates the Redis sweep (paper Fig. 7).
 func BenchmarkFig7(b *testing.B) {
+	b.ReportAllocs()
 	opts := benchOpts()
 	opts.Schedulers = []sched.Kind{sched.KindCredit, sched.KindVProbe}
 	opts.Horizon = 60 * sim.Second
@@ -101,23 +108,27 @@ func BenchmarkFig7(b *testing.B) {
 
 // BenchmarkFig8 regenerates the sampling-period sweep (paper Fig. 8).
 func BenchmarkFig8(b *testing.B) {
+	b.ReportAllocs()
 	res := runExperiment(b, "fig8", benchOpts())
 	b.ReportMetric(res.Get("exec/vprobe", "1.000s"), "exec_at_1s_sec")
 }
 
 // BenchmarkTable3 regenerates the overhead measurement (paper Table III).
 func BenchmarkTable3(b *testing.B) {
+	b.ReportAllocs()
 	res := runExperiment(b, "table3", benchOpts())
 	b.ReportMetric(res.Get("overhead/vprobe", "4"), "overhead_4vm_pct")
 }
 
 // BenchmarkAblateAffinity regenerates the Eq. 1 ablation.
 func BenchmarkAblateAffinity(b *testing.B) {
+	b.ReportAllocs()
 	runExperiment(b, "ablate-affinity", benchOpts())
 }
 
 // BenchmarkFourNode regenerates the 4-node extension experiment.
 func BenchmarkFourNode(b *testing.B) {
+	b.ReportAllocs()
 	runExperiment(b, "fournode", benchOpts())
 }
 
@@ -154,6 +165,7 @@ func runSuiteBench(b *testing.B, workers int) {
 // BenchmarkSuiteSequential runs the suite on one worker — the baseline for
 // the parallel harness speedup (compare with BenchmarkSuiteParallel).
 func BenchmarkSuiteSequential(b *testing.B) {
+	b.ReportAllocs()
 	runSuiteBench(b, 1)
 }
 
@@ -162,6 +174,7 @@ func BenchmarkSuiteSequential(b *testing.B) {
 // drops by well over 2x because every (workload, scheduler, seed) scenario
 // is an independent simulation.
 func BenchmarkSuiteParallel(b *testing.B) {
+	b.ReportAllocs()
 	runSuiteBench(b, 0)
 }
 
@@ -169,6 +182,7 @@ func BenchmarkSuiteParallel(b *testing.B) {
 
 // BenchmarkPartition measures Algorithm 1 on a 24-VCPU, 4-node input.
 func BenchmarkPartition(b *testing.B) {
+	b.ReportAllocs()
 	rng := sim.NewRNG(1)
 	stats := make([]core.Stat, 24)
 	for i := range stats {
@@ -189,6 +203,7 @@ func BenchmarkPartition(b *testing.B) {
 
 // BenchmarkPickSteal measures Algorithm 2 on a loaded 4-node machine.
 func BenchmarkPickSteal(b *testing.B) {
+	b.ReportAllocs()
 	rng := sim.NewRNG(2)
 	queues := make(map[numa.NodeID][]core.QueueView)
 	for n := 0; n < 4; n++ {
@@ -216,6 +231,7 @@ func BenchmarkPickSteal(b *testing.B) {
 // BenchmarkPerfExecute measures one quantum evaluation of the performance
 // model (the simulation's inner loop).
 func BenchmarkPerfExecute(b *testing.B) {
+	b.ReportAllocs()
 	s := perf.NewSystem(numa.XeonE5620())
 	req := perf.Request{
 		Profile:      workload.Soplex(),
@@ -231,9 +247,36 @@ func BenchmarkPerfExecute(b *testing.B) {
 	}
 }
 
+// BenchmarkQuantumHotPath isolates one dispatch→endQuantum cycle: a single
+// endless CPU-bound VCPU on an otherwise idle host, stepped one timeslice
+// per iteration after the simulation reaches steady state. allocs/op is
+// the per-quantum allocation count the refactor pins at zero (also
+// enforced by TestQuantumSteadyStateZeroAlloc in internal/xen).
+func BenchmarkQuantumHotPath(b *testing.B) {
+	b.ReportAllocs()
+	cfg := xen.DefaultConfig()
+	cfg.GuestThreadMigrationMean = 0
+	h := xen.New(numa.XeonE5620(), sched.MustNew(sched.KindCredit), cfg)
+	vm, err := h.CreateDomain("vm", 1024, 1, mem.PolicyStripe)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := h.AttachApp(vm, 0, workload.Hungry()); err != nil {
+		b.Fatal(err)
+	}
+	h.Run(sim.Second) // warm up: boot, first touch, buffer growth
+	next := sim.Time(sim.Second)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		next = next.Add(cfg.Timeslice)
+		h.Engine.RunUntil(next)
+	}
+}
+
 // BenchmarkSimulationSecond measures simulating one virtual second of the
 // full standard scenario under vProbe (events/sec of the engine).
 func BenchmarkSimulationSecond(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		h := xen.New(numa.XeonE5620(), sched.MustNew(sched.KindVProbe), xen.DefaultConfig())
 		vm, err := h.CreateDomain("vm", 8*1024, 8, mem.PolicyStripe)

@@ -1,0 +1,110 @@
+// Command vprobe-bench parses `go test -bench` output on stdin and appends
+// one snapshot entry to a JSON history file (default BENCH_hotpath.json).
+// Each snapshot records ns/op, B/op, and allocs/op per benchmark, so the
+// file accumulates an ordered before/after history of the hot-path numbers:
+// the first entry is the pre-refactor baseline, later entries track every
+// `make bench` run since. See EXPERIMENTS.md for how to read the file.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem . | go run ./cmd/vprobe-bench -label my-change
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+)
+
+// Metrics is one benchmark's reported costs.
+type Metrics struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// Snapshot is one appended history entry: every benchmark parsed from a
+// single `go test -bench` run.
+type Snapshot struct {
+	Label      string             `json:"label"`
+	GoVersion  string             `json:"go_version"`
+	Benchmarks map[string]Metrics `json:"benchmarks"`
+}
+
+// benchLine matches one result line, e.g.
+//
+//	BenchmarkQuantumHotPath-8   7270830   345.8 ns/op   0 B/op   0 allocs/op
+//
+// The -8 GOMAXPROCS suffix is stripped so snapshots from different machines
+// key identically; B/op and allocs/op are optional (absent without
+// -benchmem or b.ReportAllocs).
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op\s+([\d.]+) allocs/op)?`)
+
+func main() {
+	out := flag.String("out", "BENCH_hotpath.json", "history file to append the snapshot to")
+	label := flag.String("label", "", "snapshot label (required; e.g. the change being measured)")
+	flag.Parse()
+	if *label == "" {
+		fmt.Fprintln(os.Stderr, "vprobe-bench: -label is required")
+		os.Exit(2)
+	}
+
+	snap := Snapshot{
+		Label:      *label,
+		GoVersion:  runtime.Version(),
+		Benchmarks: map[string]Metrics{},
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		var met Metrics
+		met.NsPerOp, _ = strconv.ParseFloat(m[2], 64)
+		if m[3] != "" {
+			met.BytesPerOp, _ = strconv.ParseFloat(m[3], 64)
+			met.AllocsPerOp, _ = strconv.ParseFloat(m[4], 64)
+		}
+		snap.Benchmarks[m[1]] = met
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "vprobe-bench: reading stdin: %v\n", err)
+		os.Exit(1)
+	}
+	if len(snap.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "vprobe-bench: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	var history []Snapshot
+	if data, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(data, &history); err != nil {
+			fmt.Fprintf(os.Stderr, "vprobe-bench: %s is not a snapshot history: %v\n", *out, err)
+			os.Exit(1)
+		}
+	} else if !os.IsNotExist(err) {
+		fmt.Fprintf(os.Stderr, "vprobe-bench: %v\n", err)
+		os.Exit(1)
+	}
+	history = append(history, snap)
+
+	data, err := json.MarshalIndent(history, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vprobe-bench: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "vprobe-bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("vprobe-bench: appended snapshot %q (%d benchmarks) to %s (%d entries)\n",
+		snap.Label, len(snap.Benchmarks), *out, len(history))
+}

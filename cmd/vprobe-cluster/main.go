@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"vprobe/internal/cluster"
+	"vprobe/internal/harness"
 	"vprobe/internal/sched"
 	"vprobe/internal/sim"
 )
@@ -45,6 +46,8 @@ func main() {
 	llcLimit := flag.Float64("llc-limit", 50, "per-socket LLC pressure migration threshold")
 	remoteLimit := flag.Float64("remote-limit", 0.45, "remote-access ratio migration threshold")
 	trace := flag.Bool("trace", false, "stream cluster events to stderr")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile (taken after the run) to this file")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "unexpected arguments: %v\n", flag.Args())
@@ -86,8 +89,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	stopProfiles, err := harness.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	start := time.Now()
 	rep, err := c.Run(ctx)
+	// Profiles cover the simulation itself, not report formatting.
+	if perr := stopProfiles(); perr != nil {
+		fmt.Fprintln(os.Stderr, perr)
+		os.Exit(1)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

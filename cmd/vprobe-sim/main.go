@@ -39,6 +39,8 @@ func main() {
 	quiet := flag.Bool("q", false, "suppress progress output on stderr")
 	list := flag.Bool("list", false, "list experiments and exit")
 	out := flag.String("out", "", "directory for CSV/JSON result and JSONL event exports")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile (taken after the run) to this file")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: %s [flags] [experiment ...]\n\nexperiments:\n", os.Args[0])
 		for _, e := range experiments.All() {
@@ -86,8 +88,19 @@ func main() {
 		opts.Events = harness.Multi(sinks...)
 	}
 
+	stopProfiles, perr := harness.StartProfiles(*cpuprofile, *memprofile)
+	if perr != nil {
+		fmt.Fprintln(os.Stderr, perr)
+		os.Exit(1)
+	}
+
 	start := time.Now()
 	items, err := experiments.RunSuite(ctx, flag.Args(), opts)
+	// Profiles cover the simulation itself, not result formatting.
+	if perr := stopProfiles(); perr != nil {
+		fmt.Fprintln(os.Stderr, perr)
+		os.Exit(1)
+	}
 	if err != nil && len(items) == 0 {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

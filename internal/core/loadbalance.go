@@ -38,21 +38,44 @@ type StealDecision struct {
 // equal workloads keep caller order, matching the prototype's fixed PCPU
 // iteration). It returns ok=false when no queue anywhere has work.
 func PickSteal(local numa.NodeID, nodeOrder []numa.NodeID, queues map[numa.NodeID][]QueueView) (StealDecision, bool) {
-	visit := make([]numa.NodeID, 0, len(nodeOrder)+1)
-	visit = append(visit, local)
+	var s StealScratch
+	return s.PickSteal(local, nodeOrder, queues)
+}
+
+// StealScratch holds PickSteal's working buffers so a caller on a hot path
+// (one steal attempt per idle PCPU per quantum) can reuse them across
+// calls. The zero value is ready to use; a scratch must not be shared by
+// concurrent callers.
+type StealScratch struct {
+	visit []numa.NodeID
+	order []int
+}
+
+// PickSteal is the allocation-free form of the package-level PickSteal,
+// reusing the scratch's buffers once they have grown to topology size.
+func (s *StealScratch) PickSteal(local numa.NodeID, nodeOrder []numa.NodeID, queues map[numa.NodeID][]QueueView) (StealDecision, bool) {
+	if cap(s.visit) < len(nodeOrder)+1 {
+		s.visit = make([]numa.NodeID, 0, len(nodeOrder)+1)
+	}
+	visit := append(s.visit[:0], local)
 	for _, n := range nodeOrder {
 		if n != local {
 			visit = append(visit, n)
 		}
 	}
+	s.visit = visit
 	for _, node := range visit {
 		views := queues[node]
 		// Stable selection sort by descending workload (tiny N; keeps
 		// the package dependency-free and the order deterministic).
-		order := make([]int, len(views))
-		for i := range order {
-			order[i] = i
+		if cap(s.order) < len(views) {
+			s.order = make([]int, 0, len(views))
 		}
+		order := s.order[:0]
+		for i := range views {
+			order = append(order, i)
+		}
+		s.order = order
 		for i := 0; i < len(order); i++ {
 			best := i
 			for j := i + 1; j < len(order); j++ {

@@ -1,0 +1,48 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfiles starts the optional pprof profiles a command exposes via
+// -cpuprofile / -memprofile flags. It returns a stop function the caller
+// runs once after the profiled work: it stops and flushes the CPU profile
+// and writes the heap profile. An empty path disables the corresponding
+// profile; with both empty the returned stop is a no-op, so callers can
+// invoke it unconditionally.
+func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("cpu profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("heap profile: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // settle the live heap so the snapshot is stable
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("heap profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

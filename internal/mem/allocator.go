@@ -2,6 +2,7 @@ package mem
 
 import (
 	"fmt"
+	"math"
 
 	"vprobe/internal/numa"
 )
@@ -174,13 +175,35 @@ func (a *Allocator) Release(d Dist, sizeMB int64) {
 // owns, so the concentrated component is masked by the VM distribution and
 // renormalised before blending.
 func FirstTouch(vmDist Dist, startNode numa.NodeID, locality float64) Dist {
-	concentrated := make(Dist, len(vmDist))
+	return FirstTouchInto(nil, vmDist, startNode, locality)
+}
+
+// FirstTouchInto is FirstTouch writing into a caller-owned vector: dst is
+// reused when it has the capacity and the result is returned. dst may be
+// nil but must not alias vmDist. The arithmetic matches FirstTouch exactly
+// (same blend and renormalisation), so swapping one for the other cannot
+// change simulation output.
+func FirstTouchInto(dst, vmDist Dist, startNode numa.NodeID, locality float64) Dist {
+	if cap(dst) < len(vmDist) {
+		dst = make(Dist, len(vmDist))
+	}
+	dst = dst[:len(vmDist)]
+	w := math.Max(0, math.Min(1, locality))
 	if vmDist.LocalFraction(startNode) > 0 {
-		concentrated[startNode] = 1
+		for i := range dst {
+			c := 0.0
+			if numa.NodeID(i) == startNode {
+				c = 1
+			}
+			dst[i] = w*c + (1-w)*vmDist[i]
+		}
 	} else {
 		// VM has no memory on the start node: the guest allocates from
 		// wherever the VM has frames.
-		copy(concentrated, vmDist)
+		for i := range dst {
+			dst[i] = w*vmDist[i] + (1-w)*vmDist[i]
+		}
 	}
-	return Blend(concentrated, vmDist, locality)
+	dst.Normalize()
+	return dst
 }

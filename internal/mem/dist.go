@@ -56,9 +56,19 @@ func (d Dist) Validate() error {
 
 // Clone returns an independent copy.
 func (d Dist) Clone() Dist {
-	c := make(Dist, len(d))
-	copy(c, d)
-	return c
+	return d.CloneInto(nil)
+}
+
+// CloneInto copies d into dst, reusing dst's storage when it has the
+// capacity, and returns the result. dst may be nil (a fresh vector is
+// allocated) but must not alias d unless identical.
+func (d Dist) CloneInto(dst Dist) Dist {
+	if cap(dst) < len(d) {
+		dst = make(Dist, len(d))
+	}
+	dst = dst[:len(d)]
+	copy(dst, d)
+	return dst
 }
 
 // Normalize rescales the vector in place to sum to 1; an all-zero vector

@@ -120,6 +120,11 @@ type System struct {
 	nodeBytes []float64
 	pairBytes [][]float64
 	epochAt   sim.Time
+
+	// linkCap[a][b] is the usable bytes/s between a node pair, summed over
+	// the links connecting it. The topology is immutable, so this is
+	// computed once at construction instead of per epoch.
+	linkCap [][]float64
 }
 
 // NewSystem builds the model for a topology with default parameters.
@@ -145,6 +150,15 @@ func NewSystemParams(top *numa.Topology, p Params) *System {
 		for j := 0; j < n; j++ {
 			s.linkMult[i][j] = 1
 		}
+	}
+	s.linkCap = make([][]float64, n)
+	for i := range s.linkCap {
+		s.linkCap[i] = make([]float64, n)
+	}
+	for _, l := range top.Links() {
+		bw := l.BandwidthGTs * p.QPIGBPerGT * 1e9
+		s.linkCap[l.A][l.B] += bw
+		s.linkCap[l.B][l.A] += bw
 	}
 	return s
 }
@@ -189,9 +203,31 @@ func EffectiveShareKB(llcKB int64, own, co float64) float64 {
 
 // Execute evaluates one quantum. It is read-only with respect to contention
 // state; callers must Record the outcome for the feedback loop.
+//
+// Execute allocates a fresh per-node vector per call; the quantum hot path
+// uses ExecuteInto with a reusable Outcome instead.
 func (s *System) Execute(r Request) Outcome {
+	var out Outcome
+	s.ExecuteInto(&out, r)
+	return out
+}
+
+// ExecuteInto is Execute writing into a caller-owned Outcome: out's Node
+// slice is reused when it has the capacity, so a VCPU that keeps one
+// Outcome across quanta makes the evaluation allocation-free. All other
+// fields of out are overwritten.
+func (s *System) ExecuteInto(out *Outcome, r Request) {
+	node := out.Node
+	if cap(node) < s.top.NumNodes() {
+		node = make([]float64, s.top.NumNodes())
+	}
+	node = node[:s.top.NumNodes()]
+	for i := range node {
+		node[i] = 0
+	}
+	*out = Outcome{Node: node}
 	if r.Quantum <= 0 {
-		return Outcome{Node: make([]float64, s.top.NumNodes())}
+		return
 	}
 	ph := r.Profile.PhaseAt(r.InstrDone)
 	rpi := ph.RPTI / 1000 // LLC references per instruction
@@ -261,16 +297,13 @@ func (s *System) Execute(r Request) Outcome {
 
 	refs := instr * rpi
 	misses := refs * missEff
-	out := Outcome{
-		Instructions: instr,
-		Cycles:       cycles + overhead,
-		LLCRef:       refs,
-		LLCMiss:      misses,
-		Node:         make([]float64, s.top.NumNodes()),
-		ColdLines:    coldLeft,
-		MissRate:     missEff,
-		CPI:          cpi,
-	}
+	out.Instructions = instr
+	out.Cycles = cycles + overhead
+	out.LLCRef = refs
+	out.LLCMiss = misses
+	out.ColdLines = coldLeft
+	out.MissRate = missEff
+	out.CPI = cpi
 	for n := 0; n < s.top.NumNodes(); n++ {
 		served := misses * r.PageDist.LocalFraction(numa.NodeID(n))
 		out.Node[n] = served
@@ -283,7 +316,6 @@ func (s *System) Execute(r Request) Outcome {
 	if out.Used > r.Quantum {
 		out.Used = r.Quantum
 	}
-	return out
 }
 
 // Record feeds an outcome into the contention accumulators.
@@ -310,13 +342,6 @@ func (s *System) EndEpoch(now sim.Time) {
 	secs := elapsed.Seconds()
 	w := s.params.EpochSmoothing
 
-	// Per-pair link capacity: links between the pair share the traffic.
-	linksPerPair := make(map[[2]int]float64)
-	for _, l := range s.top.Links() {
-		key := [2]int{int(l.A), int(l.B)}
-		linksPerPair[key] += l.BandwidthGTs * s.params.QPIGBPerGT * 1e9
-	}
-
 	eff := s.params.IMCEfficiency
 	if eff <= 0 {
 		eff = 1
@@ -328,7 +353,7 @@ func (s *System) EndEpoch(now sim.Time) {
 		s.imcMult[n] = (1-w)*s.imcMult[n] + w*target
 		s.nodeBytes[n] = 0
 		for m := n + 1; m < s.top.NumNodes(); m++ {
-			cap := linksPerPair[[2]int{n, m}]
+			cap := s.linkCap[n][m]
 			if cap <= 0 {
 				cap = 1e9 // disconnected pairs: nominal
 			}

@@ -33,6 +33,18 @@ type BRM struct {
 	// Epsilon is the fully-random exploration probability of the biased
 	// migration.
 	Epsilon float64
+
+	// cands/weights are PickNext's reusable candidate buffers (one steal
+	// attempt per idle PCPU per quantum; a scheduler instance serves one
+	// hypervisor, so one set suffices).
+	cands   []brmCand
+	weights []float64
+}
+
+// brmCand pairs a stealable VCPU with the queue holding it.
+type brmCand struct {
+	v *xen.VCPU
+	q *xen.PCPU
 }
 
 // NewBRM returns the comparator with its calibrated constants.
@@ -90,22 +102,24 @@ func (s *BRM) PickNext(h *xen.Hypervisor, p *xen.PCPU) *xen.VCPU {
 		return h.NextLocal(p)
 	}
 	idle := p.PeekHead() == nil
-	type cand struct {
-		v *xen.VCPU
-		q *xen.PCPU
-	}
-	var cands []cand
+	cands := s.cands[:0]
 	for _, q := range h.PCPUs {
 		if q == p {
 			continue
 		}
-		for _, v := range q.Stealable() {
+		queue := q.Queue()
+		for qi := 0; qi < len(queue); qi++ {
+			v := queue[qi]
+			if !v.CanSteal() {
+				continue
+			}
 			if !idle && v.Priority != xen.PrioUnder {
 				continue
 			}
-			cands = append(cands, cand{v, q})
+			cands = append(cands, brmCand{v, q})
 		}
 	}
+	s.cands = cands
 	if len(cands) == 0 {
 		return h.NextLocal(p)
 	}
@@ -113,10 +127,11 @@ func (s *BRM) PickNext(h *xen.Hypervisor, p *xen.PCPU) *xen.VCPU {
 	if h.RNG.Float64() < s.Epsilon {
 		idx = h.RNG.Intn(len(cands))
 	} else {
-		weights := make([]float64, len(cands))
-		for i, c := range cands {
-			weights[i] = 1 / (0.05 + s.penaltyOn(h, c.v, p.Node))
+		weights := s.weights[:0]
+		for _, c := range cands {
+			weights = append(weights, 1/(0.05+s.penaltyOn(h, c.v, p.Node)))
 		}
+		s.weights = weights
 		idx = h.RNG.Pick(weights)
 	}
 	c := cands[idx]

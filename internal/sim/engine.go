@@ -9,6 +9,14 @@ import (
 
 // Event is a scheduled callback. The callback runs at the event's firing
 // time with the engine passed in so it can schedule follow-up events.
+//
+// Events returned by Schedule/ScheduleAt are owned by the engine: once an
+// event has fired (or a cancelled event has been discarded), the engine
+// recycles it through an internal free list and the pointer must not be
+// used again. Cancel is therefore only meaningful while the event is
+// pending. Callers that need an event they can safely re-arm or cancel at
+// any time should use a Timer, which owns its event for its whole lifetime
+// and is never pooled. See DESIGN.md §9 "Hot-path memory discipline".
 type Event struct {
 	at     Time
 	seq    uint64 // tie-breaker: FIFO among simultaneous events
@@ -16,6 +24,7 @@ type Event struct {
 	fire   func(e *Engine)
 	label  string
 	cancel bool
+	pinned bool // owned by a Timer/Ticker; never returned to the pool
 }
 
 // At reports the virtual time the event fires at.
@@ -25,7 +34,9 @@ func (ev *Event) At() Time { return ev.at }
 func (ev *Event) Label() string { return ev.label }
 
 // Cancel marks the event so it will be skipped when it reaches the head of
-// the queue. Cancelling an already-fired event is a no-op.
+// the queue. Cancelling an already-fired event is a no-op — but note that
+// a fired event may have been recycled for an unrelated later Schedule
+// call, so Cancel must only be called while the event is known pending.
 func (ev *Event) Cancel() { ev.cancel = true }
 
 // Cancelled reports whether Cancel was called on the event.
@@ -74,6 +85,12 @@ type Engine struct {
 	fired   uint64
 	stopped bool
 	horizon Time // 0 means unbounded
+
+	// free is the event pool: fired and discarded-after-cancel events are
+	// recycled here, so a steady-state simulation allocates no events.
+	// LIFO reuse keeps the pool cache-hot and, because the engine is
+	// single-threaded, fully deterministic.
+	free []*Event
 }
 
 // NewEngine returns an engine with the clock at zero and an empty queue.
@@ -91,6 +108,34 @@ func (e *Engine) Pending() int { return len(e.queue) }
 // Fired returns the number of events executed so far.
 func (e *Engine) Fired() uint64 { return e.fired }
 
+// PoolSize returns the number of recycled events currently in the free
+// list (exposed for the pooling tests).
+func (e *Engine) PoolSize() int { return len(e.free) }
+
+// alloc takes an event from the free list, or makes a new one.
+func (e *Engine) alloc() *Event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return &Event{}
+}
+
+// release recycles a popped event. The callback reference is dropped
+// immediately so a recycled event can never re-fire its old callback;
+// the cancel flag is left as-is (so Cancelled() stays observable on a
+// just-discarded event) and reset when the event is handed out again.
+// Pinned events belong to a Timer or Ticker and are never pooled.
+func (e *Engine) release(ev *Event) {
+	if ev.pinned {
+		return
+	}
+	ev.fire = nil
+	e.free = append(e.free, ev)
+}
+
 // ErrPastEvent is returned by ScheduleAt when the requested time precedes
 // the current clock.
 var ErrPastEvent = errors.New("sim: event scheduled in the past")
@@ -102,7 +147,12 @@ func (e *Engine) ScheduleAt(at Time, label string, fn func(*Engine)) *Event {
 	if at < e.now {
 		panic(fmt.Errorf("%w: now=%v at=%v label=%q", ErrPastEvent, e.now, at, label))
 	}
-	ev := &Event{at: at, seq: e.seq, fire: fn, label: label}
+	ev := e.alloc()
+	ev.at = at
+	ev.seq = e.seq
+	ev.fire = fn
+	ev.label = label
+	ev.cancel = false
 	e.seq++
 	heap.Push(&e.queue, ev)
 	return ev
@@ -116,6 +166,77 @@ func (e *Engine) Schedule(d Duration, label string, fn func(*Engine)) *Event {
 	return e.ScheduleAt(e.now.Add(d), label, fn)
 }
 
+// armPinnedAt queues a caller-owned (pinned) event. The event must not be
+// queued already; pinned events are re-armed in place rather than pooled.
+func (e *Engine) armPinnedAt(ev *Event, at Time) {
+	if at < e.now {
+		panic(fmt.Errorf("%w: now=%v at=%v label=%q", ErrPastEvent, e.now, at, ev.label))
+	}
+	if ev.index >= 0 {
+		panic(fmt.Sprintf("sim: pinned event %q armed while pending", ev.label))
+	}
+	ev.at = at
+	ev.seq = e.seq
+	ev.cancel = false
+	e.seq++
+	heap.Push(&e.queue, ev)
+}
+
+// unqueue removes a pending event from the queue immediately (as opposed
+// to Cancel's lazy skip-at-pop). Reports whether the event was queued.
+func (e *Engine) unqueue(ev *Event) bool {
+	if ev.index < 0 {
+		return false
+	}
+	heap.Remove(&e.queue, ev.index)
+	return true
+}
+
+// Timer is a reusable one-shot event with a callback bound at construction
+// time. Arming, firing, and stopping a Timer never allocates: the Timer
+// owns one pinned event that is pushed back into the engine's queue on
+// every Arm. Use it for recurring hot-path deadlines (quantum ends, VCPU
+// wakeups) where Schedule's per-call closure would churn the GC.
+type Timer struct {
+	engine *Engine
+	ev     Event
+}
+
+// NewTimer returns an unarmed timer that runs fn each time it fires.
+func (e *Engine) NewTimer(label string, fn func(*Engine)) *Timer {
+	t := &Timer{engine: e}
+	t.ev.pinned = true
+	t.ev.index = -1
+	t.ev.label = label
+	t.ev.fire = fn
+	return t
+}
+
+// Arm schedules the timer to fire after delay d (d < 0 is clamped to 0).
+// An already-pending timer is re-armed at the new deadline.
+func (t *Timer) Arm(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	t.ArmAt(t.engine.now.Add(d))
+}
+
+// ArmAt schedules the timer to fire at absolute time at, replacing any
+// pending arming.
+func (t *Timer) ArmAt(at Time) {
+	t.engine.unqueue(&t.ev)
+	t.engine.armPinnedAt(&t.ev, at)
+}
+
+// Stop removes a pending firing; it reports whether the timer was armed.
+// Unlike Event.Cancel, a stopped Timer can be re-armed immediately.
+func (t *Timer) Stop() bool {
+	return t.engine.unqueue(&t.ev)
+}
+
+// Pending reports whether the timer is armed.
+func (t *Timer) Pending() bool { return t.ev.index >= 0 }
+
 // Every schedules fn to run now+first and then every period thereafter,
 // until the returned ticker is stopped or the engine halts. period must be
 // positive.
@@ -123,39 +244,43 @@ func (e *Engine) Every(first, period Duration, label string, fn func(*Engine)) *
 	if period <= 0 {
 		panic(fmt.Sprintf("sim: non-positive ticker period %v (label %q)", period, label))
 	}
-	t := &Ticker{engine: e, period: period, label: label, fn: fn}
-	t.arm(first)
+	t := &Ticker{engine: e, period: period, fn: fn}
+	t.ev.pinned = true
+	t.ev.index = -1
+	t.ev.label = label
+	t.ev.fire = t.tick // one closure for the ticker's whole lifetime
+	if first < 0 {
+		first = 0
+	}
+	e.armPinnedAt(&t.ev, e.now.Add(first))
 	return t
 }
 
-// Ticker repeatedly fires a callback at a fixed period.
+// Ticker repeatedly fires a callback at a fixed period. It owns one pinned
+// event that is re-armed after each firing, so a running ticker performs
+// zero allocations.
 type Ticker struct {
 	engine  *Engine
 	period  Duration
-	label   string
 	fn      func(*Engine)
-	next    *Event
+	ev      Event
 	stopped bool
 }
 
-func (t *Ticker) arm(d Duration) {
-	t.next = t.engine.Schedule(d, t.label, func(e *Engine) {
-		if t.stopped {
-			return
-		}
-		t.fn(e)
-		if !t.stopped {
-			t.arm(t.period)
-		}
-	})
+func (t *Ticker) tick(e *Engine) {
+	if t.stopped {
+		return
+	}
+	t.fn(e)
+	if !t.stopped {
+		e.armPinnedAt(&t.ev, e.now.Add(t.period))
+	}
 }
 
 // Stop prevents all future firings of the ticker.
 func (t *Ticker) Stop() {
 	t.stopped = true
-	if t.next != nil {
-		t.next.Cancel()
-	}
+	t.engine.unqueue(&t.ev)
 }
 
 // Period returns the ticker period.
@@ -212,6 +337,7 @@ func (e *Engine) run(ctx context.Context) (uint64, error) {
 		}
 		heap.Pop(&e.queue)
 		if ev.cancel {
+			e.release(ev)
 			continue
 		}
 		if ev.at < e.now {
@@ -219,7 +345,9 @@ func (e *Engine) run(ctx context.Context) (uint64, error) {
 		}
 		e.now = ev.at
 		e.fired++
-		ev.fire(e)
+		fn := ev.fire
+		fn(e)
+		e.release(ev)
 	}
 	return e.fired - start, nil
 }

@@ -1,0 +1,64 @@
+package xen_test
+
+import (
+	"testing"
+
+	"vprobe/internal/mem"
+	"vprobe/internal/numa"
+	"vprobe/internal/sched"
+	"vprobe/internal/sim"
+	"vprobe/internal/workload"
+	"vprobe/internal/xen"
+)
+
+// newSteadyStateHV builds an overcommitted host (12 runnable VCPUs on 8
+// PCPUs) that exercises the whole quantum loop forever: dispatch, quantum
+// end, credit ticks and accounting, blocking and BOOST wakeups, preemption,
+// and idle-PCPU stealing. All workloads are endless so the steady state
+// never drains, and guest-thread re-placement is disabled because it is a
+// rare housekeeping event (6 s mean), not part of the quantum loop.
+func newSteadyStateHV(t testing.TB, kind sched.Kind) *xen.Hypervisor {
+	t.Helper()
+	cfg := xen.DefaultConfig()
+	cfg.GuestThreadMigrationMean = 0
+	h := xen.New(numa.XeonE5620(), sched.MustNew(kind), cfg)
+	vm, err := h.CreateDomain("vm", 4096, 12, mem.PolicyStripe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := h.AttachApp(vm, i, workload.Hungry()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 8; i < 12; i++ {
+		if _, err := h.AttachApp(vm, i, workload.GuestIdle()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return h
+}
+
+// TestQuantumSteadyStateZeroAlloc pins the whole quantum hot path —
+// sim event pool, perf.ExecuteInto, the PCPU flight/quantum-timer reuse,
+// the wake timers, and the steal scratch buffers — at zero allocations per
+// simulated interval once buffers have grown to steady state (tracing
+// off). Any regression that reintroduces a per-quantum allocation fails
+// this test rather than quietly degrading throughput.
+func TestQuantumSteadyStateZeroAlloc(t *testing.T) {
+	h := newSteadyStateHV(t, sched.KindCredit)
+	// Warm up past boot, first-touch windows, and buffer growth.
+	h.Run(2 * sim.Second)
+	next := sim.Time(2 * sim.Second)
+	allocs := testing.AllocsPerRun(20, func() {
+		next = next.Add(100 * sim.Millisecond)
+		h.Engine.RunUntil(next)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state quantum loop allocates %.1f times per 100 ms "+
+			"of simulation, want 0", allocs)
+	}
+	if h.TotalBusyTime() == 0 {
+		t.Fatal("simulation did no work; zero-alloc result is vacuous")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"vprobe/internal/core"
 	"vprobe/internal/mem"
 	"vprobe/internal/numa"
 	"vprobe/internal/perf"
@@ -87,6 +88,15 @@ type Hypervisor struct {
 	EventFn func(Event)
 
 	placeCursor int
+
+	// Reusable steal-path buffers (single-threaded per hypervisor, so one
+	// set suffices): QueueViews' per-node view map, Algorithm 2's scratch,
+	// the cached per-node steal visit orders (topology is immutable), and
+	// SampleAll's stat buffer.
+	views       map[numa.NodeID][]core.QueueView
+	stealBufs   core.StealScratch
+	nodeOrders  [][]numa.NodeID
+	statScratch []core.Stat
 }
 
 // New builds a hypervisor on the given topology with a scheduling policy.
@@ -102,10 +112,15 @@ func New(top *numa.Topology, policy Policy, cfg Config) *Hypervisor {
 		vcpuByID: make(map[VCPUID]*VCPU),
 	}
 	for cpu := 0; cpu < top.NumCPUs(); cpu++ {
-		h.PCPUs = append(h.PCPUs, &PCPU{
+		p := &PCPU{
 			ID:   numa.CPUID(cpu),
 			Node: top.NodeOf(numa.CPUID(cpu)),
-		})
+		}
+		// Pre-bind the per-PCPU callbacks once: the quantum/kick/boot hot
+		// paths then re-arm pooled events instead of allocating closures.
+		p.quantum = h.Engine.NewTimer("quantum", func(*sim.Engine) { h.endQuantum(p) })
+		p.kickFn = func(*sim.Engine) { h.schedule(p) }
+		h.PCPUs = append(h.PCPUs, p)
 	}
 	return h
 }
@@ -172,6 +187,7 @@ func (h *Hypervisor) AddDomain(name string, memMB int64, vcpus int, pol mem.Poli
 			pendingNode:  numa.NoNode,
 		}
 		h.nextVCPU++
+		v.wakeTimer = h.Engine.NewTimer("wake", func(*sim.Engine) { h.wake(v, v.wakeLast) })
 		d.VCPUs = append(d.VCPUs, v)
 		h.vcpus = append(h.vcpus, v)
 		h.vcpuByID[v.ID] = v
@@ -280,8 +296,7 @@ func (h *Hypervisor) Start() error {
 
 	// First dispatch on every PCPU.
 	for _, p := range h.PCPUs {
-		p := p
-		h.Engine.Schedule(0, "boot", func(*sim.Engine) { h.schedule(p) })
+		h.Engine.Schedule(0, "boot", p.kickFn)
 	}
 	return nil
 }
@@ -311,7 +326,7 @@ func (h *Hypervisor) placeDomain(d *Domain) {
 			slot++
 		}
 		v.StartNode = p.Node
-		v.PageDist = d.MemDist.Clone()
+		v.PageDist = d.MemDist.CloneInto(v.PageDist)
 		v.nodeTime = make([]sim.Duration, h.Top.NumNodes())
 		v.State = StateRunnable
 		p.Enqueue(v)
@@ -406,20 +421,27 @@ func (h *Hypervisor) repickRunning() {
 		if h.RNG.Float64() >= h.Config.RepickProb {
 			continue
 		}
+		// Index-based candidate scan: same visit order as the old
+		// throwaway candidate slice, without building it.
 		var best *PCPU
-		candidates := h.PCPUs
 		if aware {
-			candidates = nil
 			for _, cpu := range h.Top.CPUsOf(p.Node) {
-				candidates = append(candidates, h.PCPUs[cpu])
+				q := h.PCPUs[cpu]
+				if q == p {
+					continue
+				}
+				if best == nil || q.Workload < best.Workload {
+					best = q
+				}
 			}
-		}
-		for _, q := range candidates {
-			if q == p {
-				continue
-			}
-			if best == nil || q.Workload < best.Workload {
-				best = q
+		} else {
+			for _, q := range h.PCPUs {
+				if q == p {
+					continue
+				}
+				if best == nil || q.Workload < best.Workload {
+					best = q
+				}
 			}
 		}
 		if best != nil && best.Workload+1 < p.Workload {
@@ -509,26 +531,31 @@ func (h *Hypervisor) dispatch(p *PCPU, v *VCPU) {
 		req.OverheadCycles += cycles
 	}
 
-	out := h.Perf.Execute(req)
+	// The outcome lands in the VCPU's reusable buffer; the flight state
+	// and the quantum-end timer are the PCPU's own, so the whole dispatch
+	// is allocation-free in steady state.
+	h.Perf.ExecuteInto(&v.out, req)
+	out := &v.out
 	if out.Used <= 0 {
 		out.Used = sim.Microsecond
 	}
-	h.emit(EventDispatch, v.ID, p.ID, p.Node, v.App.Name,
-		"pcpu%d run vcpu%d (%s) %.1fms", p.ID, v.ID, v.App.Name, out.Used.Millis())
-	f := &flight{v: v, out: out, origCold: v.ColdLines, start: h.Engine.Now()}
-	f.ev = h.Engine.Schedule(out.Used, "quantum", func(*sim.Engine) {
-		h.endQuantum(p)
-	})
-	p.flight = f
+	if h.EventFn != nil {
+		// Guarded at the call site, not just inside emit: boxing the
+		// variadic args allocates before emit's own nil check runs, and
+		// dispatch is the hot path that must stay allocation-free.
+		h.emit(EventDispatch, v.ID, p.ID, p.Node, v.App.Name,
+			"pcpu%d run vcpu%d (%s) %.1fms", p.ID, v.ID, v.App.Name, out.Used.Millis())
+	}
+	p.flight = flight{v: v, origCold: v.ColdLines, start: h.Engine.Now()}
+	p.quantum.Arm(out.Used)
 }
 
-// flight is one in-progress quantum.
+// flight is one in-progress quantum (active while v != nil). The outcome
+// lives in v.out and the deadline in the owning PCPU's quantum timer.
 type flight struct {
 	v        *VCPU
-	out      perf.Outcome
 	origCold float64
 	start    sim.Time
-	ev       *sim.Event
 }
 
 // priorityFromCredits maps a credit balance to UNDER/OVER.
@@ -543,10 +570,10 @@ func priorityFromCredits(v *VCPU) Priority {
 // The partial work is accounted proportionally and the displaced VCPU is
 // requeued; p then reschedules, picking up the BOOST VCPU.
 func (h *Hypervisor) preempt(p *PCPU) {
-	if p.flight == nil {
+	if p.flight.v == nil {
 		return
 	}
-	p.flight.ev.Cancel()
+	p.quantum.Stop()
 	h.endQuantum(p)
 }
 
@@ -577,15 +604,18 @@ func (h *Hypervisor) coRunnerRPTI(p *PCPU, v *VCPU) float64 {
 }
 
 func (h *Hypervisor) endQuantum(p *PCPU) {
-	f := p.flight
-	if f == nil || p.Current != f.v {
+	if p.flight.v == nil || p.Current != p.flight.v {
 		return
 	}
-	p.flight = nil
-	v := f.v
-	out := f.out
+	v := p.flight.v
+	origCold := p.flight.origCold
+	start := p.flight.start
+	p.flight.v = nil
+	// out is the VCPU's reusable outcome buffer, scaled in place on
+	// preemption; nothing reads it after this function consumes it.
+	out := &v.out
 	preempted := false
-	if elapsed := h.Engine.Now().Sub(f.start); elapsed < out.Used {
+	if elapsed := h.Engine.Now().Sub(start); elapsed < out.Used {
 		// Preempted mid-quantum: account the completed fraction.
 		preempted = true
 		frac := float64(elapsed) / float64(out.Used)
@@ -597,7 +627,7 @@ func (h *Hypervisor) endQuantum(p *PCPU) {
 		for i := range out.Node {
 			out.Node[i] *= frac
 		}
-		out.ColdLines = f.origCold + (out.ColdLines-f.origCold)*frac
+		out.ColdLines = origCold + (out.ColdLines-origCold)*frac
 		out.Used = elapsed
 	}
 	v.Counters.Add(pmu.Delta{
@@ -608,7 +638,7 @@ func (h *Hypervisor) endQuantum(p *PCPU) {
 		Node:         out.Node,
 		Remote:       out.Remote,
 	})
-	h.Perf.Record(out, p.Node)
+	h.Perf.Record(*out, p.Node)
 	v.InstrDone += out.Instructions
 	v.ColdLines = out.ColdLines
 	v.RunTime += out.Used
@@ -642,9 +672,14 @@ func (h *Hypervisor) endQuantum(p *PCPU) {
 		if wait < sim.Microsecond {
 			wait = sim.Microsecond
 		}
-		h.emit(EventBlock, v.ID, p.ID, p.Node, v.App.Name,
-			"vcpu%d (%s) blocks %v", v.ID, v.App.Name, wait)
-		h.Engine.Schedule(wait, "wake", func(*sim.Engine) { h.wake(v, p) })
+		if h.EventFn != nil {
+			// Call-site guard like dispatch's: arg boxing must not
+			// allocate on the untraced hot path.
+			h.emit(EventBlock, v.ID, p.ID, p.Node, v.App.Name,
+				"vcpu%d (%s) blocks %v", v.ID, v.App.Name, wait)
+		}
+		v.wakeLast = p
+		v.wakeTimer.Arm(wait)
 	default:
 		target := p
 		switch {
@@ -750,7 +785,7 @@ func (h *Hypervisor) finishFirstTouch(v *VCPU) {
 			node = numa.NodeID(n)
 		}
 	}
-	v.PageDist = mem.FirstTouch(v.Dom.MemDist, node, h.Config.FirstTouchLocality)
+	v.PageDist = mem.FirstTouchInto(v.PageDist, v.Dom.MemDist, node, h.Config.FirstTouchLocality)
 }
 
 // enqueue timestamps the VCPU for cache-hot protection and inserts it.
@@ -781,8 +816,7 @@ func (h *Hypervisor) checkWatch() {
 func (h *Hypervisor) kickIdle() {
 	for _, p := range h.PCPUs {
 		if p.Current == nil {
-			p := p
-			h.Engine.Schedule(0, "kick", func(*sim.Engine) { h.schedule(p) })
+			h.Engine.Schedule(0, "kick", p.kickFn)
 		}
 	}
 }

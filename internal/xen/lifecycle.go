@@ -30,6 +30,9 @@ func (h *Hypervisor) PauseDomain(d *Domain) error {
 		if v.State == StateRunnable {
 			h.PCPUs[v.OnPCPU].Remove(v)
 		}
+		if v.wakeTimer != nil {
+			v.wakeTimer.Stop()
+		}
 		v.State = StateBlocked
 		v.paused = true
 	}

@@ -1,6 +1,7 @@
 package xen
 
 import (
+	"vprobe/internal/core"
 	"vprobe/internal/numa"
 	"vprobe/internal/sim"
 )
@@ -19,9 +20,21 @@ type PCPU struct {
 	Current  *VCPU
 	lastVCPU *VCPU // previous occupant, for context-switch detection
 
-	// flight is the in-progress quantum, kept so a BOOST wakeup can
-	// preempt it mid-way and account the truncated work.
-	flight *flight
+	// flight is the in-progress quantum (active when flight.v != nil),
+	// kept so a BOOST wakeup can preempt it mid-way and account the
+	// truncated work. Embedded by value and reused across quanta.
+	flight flight
+
+	// quantum is the reusable end-of-quantum timer, bound to this PCPU's
+	// endQuantum at construction so dispatch never allocates a closure.
+	quantum *sim.Timer
+
+	// kickFn is the pre-bound "re-run the scheduler on this PCPU"
+	// callback shared by boot and kick events.
+	kickFn func(*sim.Engine)
+
+	// stealScratch is QueueViews' reusable per-PCPU candidate buffer.
+	stealScratch []core.RunnableVCPU
 
 	Workload int
 
@@ -93,16 +106,26 @@ func (p *PCPU) Remove(v *VCPU) bool {
 }
 
 // Stealable returns the queued VCPUs another PCPU may take: everything
-// runnable and not pinned.
+// runnable and not pinned. It allocates a fresh slice per call, so the
+// steal hot paths iterate the queue with QueueAt/CanSteal instead; this
+// form remains for tests and external inspection.
 func (p *PCPU) Stealable() []*VCPU {
 	var out []*VCPU
 	for _, v := range p.queue {
-		if v.PinnedPCPU < 0 {
+		if v.CanSteal() {
 			out = append(out, v)
 		}
 	}
 	return out
 }
+
+// QueueAt returns the i-th waiting VCPU (queue order, no bounds check
+// beyond the slice's own). Allocation-free companion to Queue().
+func (p *PCPU) QueueAt(i int) *VCPU { return p.queue[i] }
+
+// CanSteal reports whether another PCPU may take this queued VCPU
+// (i.e. it is not hard-pinned).
+func (v *VCPU) CanSteal() bool { return v.PinnedPCPU < 0 }
 
 // Idle reports whether nothing is running here.
 func (p *PCPU) Idle() bool { return p.Current == nil }

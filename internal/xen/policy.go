@@ -76,7 +76,12 @@ func (h *Hypervisor) CreditSteal(p *PCPU, anyPriority bool) *VCPU {
 			if pass == 0 && q.Node != p.Node && q.Workload < p.QueueLen()+1 {
 				continue
 			}
-			for _, v := range q.Stealable() {
+			// Index-based scan of the victim queue (no Stealable slice).
+			for qi := 0; qi < len(q.queue); qi++ {
+				v := q.queue[qi]
+				if !v.CanSteal() {
+					continue
+				}
 				if pass == 0 && v.Priority > PrioUnder {
 					continue
 				}
@@ -97,14 +102,29 @@ func (h *Hypervisor) CreditSteal(p *PCPU, anyPriority bool) *VCPU {
 // VCPU for another OVER VCPU). VCPUs partition-assigned to a node other
 // than the stealer's are not offered for cross-node theft: the assignment
 // holds until the next sampling period.
+//
+// The returned map and its Runnable slices are owned by the hypervisor and
+// reused on the next call; callers must consume them before then.
 func (h *Hypervisor) QueueViews(except *PCPU, underOnly bool) map[numa.NodeID][]core.QueueView {
-	views := make(map[numa.NodeID][]core.QueueView, h.Top.NumNodes())
+	if h.views == nil {
+		h.views = make(map[numa.NodeID][]core.QueueView, h.Top.NumNodes())
+	}
+	// Reset by node id, not by ranging the map: map iteration order is
+	// nondeterministic and this path feeds the scheduler.
+	for n := 0; n < h.Top.NumNodes(); n++ {
+		h.views[numa.NodeID(n)] = h.views[numa.NodeID(n)][:0]
+	}
 	for _, q := range h.PCPUs {
 		if q == except {
 			continue
 		}
 		view := core.QueueView{CPU: q.ID, Workload: q.Workload}
-		for _, v := range q.Stealable() {
+		run := q.stealScratch[:0]
+		for qi := 0; qi < len(q.queue); qi++ {
+			v := q.queue[qi]
+			if !v.CanSteal() {
+				continue
+			}
 			if underOnly && v.Priority > PrioUnder {
 				continue
 			}
@@ -114,14 +134,16 @@ func (h *Hypervisor) QueueViews(except *PCPU, underOnly bool) map[numa.NodeID][]
 			if v.AssignedNode != numa.NoNode && except != nil && v.AssignedNode != except.Node {
 				continue
 			}
-			view.Runnable = append(view.Runnable, core.RunnableVCPU{
+			run = append(run, core.RunnableVCPU{
 				VCPU:     int(v.ID),
 				Pressure: v.LLCPressure,
 			})
 		}
-		views[q.Node] = append(views[q.Node], view)
+		q.stealScratch = run
+		view.Runnable = run
+		h.views[q.Node] = append(h.views[q.Node], view)
 	}
-	return views
+	return h.views
 }
 
 // NUMAAwareSteal applies the paper's Algorithm 2: steal the
@@ -133,9 +155,18 @@ func (h *Hypervisor) NUMAAwareSteal(p *PCPU, underOnly, localOnly bool) *VCPU {
 	views := h.QueueViews(p, underOnly)
 	var order []numa.NodeID
 	if !localOnly {
-		order = core.NodeOrderFrom(h.Top, p.Node)
+		// The visit order depends only on the (immutable) topology; compute
+		// it once per node and cache it.
+		if h.nodeOrders == nil {
+			h.nodeOrders = make([][]numa.NodeID, h.Top.NumNodes())
+		}
+		order = h.nodeOrders[p.Node]
+		if order == nil {
+			order = core.NodeOrderFrom(h.Top, p.Node)
+			h.nodeOrders[p.Node] = order
+		}
 	}
-	d, ok := core.PickSteal(p.Node, order, views)
+	d, ok := h.stealBufs.PickSteal(p.Node, order, views)
 	if !ok {
 		return nil
 	}
@@ -151,9 +182,10 @@ func (h *Hypervisor) NUMAAwareSteal(p *PCPU, underOnly, localOnly bool) *VCPU {
 
 // SampleAll samples every app-carrying VCPU's PMU window and returns the
 // analyzer stats, charging the per-VCPU collection cost. This is the PMU
-// data analyzer's period-end pass (§III-B).
+// data analyzer's period-end pass (§III-B). The returned slice is owned by
+// the hypervisor and reused on the next call.
 func (h *Hypervisor) SampleAll(an *core.Analyzer) []core.Stat {
-	stats := make([]core.Stat, 0, len(h.vcpus))
+	stats := h.statScratch[:0]
 	cpm := h.Top.CyclesPerMicrosecond()
 	for _, v := range h.vcpus {
 		if v.App == nil {
@@ -174,6 +206,7 @@ func (h *Hypervisor) SampleAll(an *core.Analyzer) []core.Stat {
 		h.SampleOverhead += sim.Duration(h.Config.PMUUpdateMicros)
 		stats = append(stats, s)
 	}
+	h.statScratch = stats
 	return stats
 }
 

@@ -15,6 +15,7 @@ import (
 	"vprobe/internal/core"
 	"vprobe/internal/mem"
 	"vprobe/internal/numa"
+	"vprobe/internal/perf"
 	"vprobe/internal/pmu"
 	"vprobe/internal/sim"
 	"vprobe/internal/workload"
@@ -140,6 +141,17 @@ type VCPU struct {
 	// pendingOverhead is hypervisor bookkeeping (PMU reads, lock waits,
 	// partitioning) charged against the VCPU's next quantum.
 	pendingOverhead float64
+
+	// out is the VCPU's reusable quantum outcome: dispatch evaluates the
+	// performance model into it (perf.ExecuteInto) and endQuantum consumes
+	// it, so the per-quantum Node vector is allocated once per VCPU.
+	out perf.Outcome
+
+	// wakeTimer is the reusable unblock timer (bound to this VCPU at
+	// creation); wakeLast is the PCPU the VCPU last blocked on, which the
+	// pre-bound callback reads instead of capturing it per block.
+	wakeTimer *sim.Timer
+	wakeLast  *PCPU
 
 	Done       bool
 	FinishTime sim.Time
