@@ -28,8 +28,14 @@ test:
 race:
 	$(GO) test -race ./...
 
+# smoke mirrors CI: a short cluster run, then telemetry exports from both
+# entry points validated by vprobe-metrics check.
 smoke:
 	$(GO) run ./cmd/vprobe-cluster -hosts 2 -horizon 30s -seed 1
+	$(GO) run ./cmd/vprobe-sim -metrics /tmp/vprobe-sim.prom
+	$(GO) run ./cmd/vprobe-metrics check /tmp/vprobe-sim.prom
+	$(GO) run ./cmd/vprobe-cluster -hosts 2 -horizon 30s -seed 1 -metrics /tmp/vprobe-cluster.prom
+	$(GO) run ./cmd/vprobe-metrics check /tmp/vprobe-cluster.prom
 
 # bench runs the hot-path micro-benchmarks and appends a snapshot (ns/op,
 # B/op, allocs/op per benchmark) to BENCH_hotpath.json. Override LABEL to

@@ -21,6 +21,7 @@ import (
 	"vprobe/internal/perf"
 	"vprobe/internal/sched"
 	"vprobe/internal/sim"
+	"vprobe/internal/telemetry"
 	"vprobe/internal/workload"
 	"vprobe/internal/xen"
 )
@@ -253,6 +254,18 @@ func BenchmarkPerfExecute(b *testing.B) {
 // the per-quantum allocation count the refactor pins at zero (also
 // enforced by TestQuantumSteadyStateZeroAlloc in internal/xen).
 func BenchmarkQuantumHotPath(b *testing.B) {
+	benchQuantumHotPath(b, false)
+}
+
+// BenchmarkQuantumHotPathTelemetry is the same cycle with the full metric
+// set attached and the sampler ticking — the overhead delta against
+// BenchmarkQuantumHotPath is the cost of telemetry on the hot path, and
+// allocs/op must stay 0.
+func BenchmarkQuantumHotPathTelemetry(b *testing.B) {
+	benchQuantumHotPath(b, true)
+}
+
+func benchQuantumHotPath(b *testing.B, withTele bool) {
 	b.ReportAllocs()
 	cfg := xen.DefaultConfig()
 	cfg.GuestThreadMigrationMean = 0
@@ -263,6 +276,11 @@ func BenchmarkQuantumHotPath(b *testing.B) {
 	}
 	if _, err := h.AttachApp(vm, 0, workload.Hungry()); err != nil {
 		b.Fatal(err)
+	}
+	if withTele {
+		s := telemetry.NewSampler(telemetry.NewRegistry(), sim.Second)
+		xen.AttachTelemetry(h, s)
+		s.Start(h.Engine)
 	}
 	h.Run(sim.Second) // warm up: boot, first touch, buffer growth
 	next := sim.Time(sim.Second)

@@ -69,6 +69,10 @@ type ClusterConfig struct {
 	// EventMigrateDone) when non-nil. Event.Host and Event.VM carry the
 	// subjects; VCPU and Node are -1.
 	Events EventSink
+	// Telemetry, when non-nil, collects cluster-level and per-host metric
+	// time series from the run (see NewTelemetry). A collector serves
+	// exactly one run; reusing one fails with ErrTelemetryAttached.
+	Telemetry *Telemetry
 }
 
 // ClusterReport summarises a cluster run.
@@ -138,6 +142,12 @@ func RunCluster(ctx context.Context, cfg ClusterConfig) (*ClusterReport, error) 
 	}
 	if cfg.RebalancePeriod < 0 {
 		ccfg.RebalancePeriod = -1
+	}
+	if cfg.Telemetry != nil {
+		if err := cfg.Telemetry.attach(); err != nil {
+			return nil, err
+		}
+		ccfg.Telemetry = cfg.Telemetry.sampler
 	}
 	if sink := cfg.Events; sink != nil {
 		ccfg.Events = func(ev cluster.Event) {

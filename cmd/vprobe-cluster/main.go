@@ -9,10 +9,13 @@
 //	               [-policy name] [-seed n] [-rate f] [-lifetime d]
 //	               [-horizon d] [-workers n] [-mix name] [-rebalance d]
 //	               [-llc-limit f] [-remote-limit f] [-trace]
+//	               [-metrics file.prom] [-metrics-every d]
 //
 // Durations are wall-style ("90s", "5m") and measured in simulated time.
-// Results are byte-identical for a fixed seed at every -workers value.
-// SIGINT or SIGTERM cancels the run.
+// Results are byte-identical for a fixed seed at every -workers value —
+// with or without -metrics, which samples cluster-level and per-host
+// series in virtual time and exports Prometheus text exposition plus a
+// .jsonl time series next to it. SIGINT or SIGTERM cancels the run.
 package main
 
 import (
@@ -29,6 +32,7 @@ import (
 	"vprobe/internal/harness"
 	"vprobe/internal/sched"
 	"vprobe/internal/sim"
+	"vprobe/internal/telemetry"
 )
 
 func main() {
@@ -46,6 +50,8 @@ func main() {
 	llcLimit := flag.Float64("llc-limit", 50, "per-socket LLC pressure migration threshold")
 	remoteLimit := flag.Float64("remote-limit", 0.45, "remote-access ratio migration threshold")
 	trace := flag.Bool("trace", false, "stream cluster events to stderr")
+	metrics := flag.String("metrics", "", "write Prometheus metrics to this file (plus a .jsonl time series next to it)")
+	metricsEvery := flag.Duration("metrics-every", time.Second, "virtual-time sampling period for -metrics")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (taken after the run) to this file")
 	flag.Parse()
@@ -77,6 +83,12 @@ func main() {
 	} else {
 		cfg.RebalancePeriod = sim.Duration(rebalance.Microseconds())
 	}
+	var sampler *telemetry.Sampler
+	if *metrics != "" {
+		sampler = telemetry.NewSampler(telemetry.NewRegistry(),
+			sim.Duration(metricsEvery.Microseconds()))
+		cfg.Telemetry = sampler
+	}
 	if *trace {
 		cfg.Events = func(ev cluster.Event) {
 			fmt.Fprintf(os.Stderr, "%12v %-14s %-7s %-8s %s\n",
@@ -106,8 +118,46 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Print(rep.String())
+	if sampler != nil {
+		if err := writeMetrics(sampler, *metrics); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "(%d samples -> %s, %s)\n",
+			sampler.Rows(), *metrics, jsonlPath(*metrics))
+	}
 	// Timing goes to stderr: stdout stays byte-identical across runs.
 	fmt.Fprintf(os.Stderr, "(simulated %v in %.1fs wall)\n", *horizon, time.Since(start).Seconds())
+}
+
+// jsonlPath places the time-series export next to the Prometheus file.
+func jsonlPath(promPath string) string {
+	return strings.TrimSuffix(promPath, ".prom") + ".jsonl"
+}
+
+// writeMetrics exports the sampler: final state as Prometheus text to
+// promPath, time series as JSON Lines next to it.
+func writeMetrics(s *telemetry.Sampler, promPath string) error {
+	pf, err := os.Create(promPath)
+	if err != nil {
+		return err
+	}
+	if err := s.Registry().WritePrometheus(pf); err != nil {
+		pf.Close()
+		return err
+	}
+	if err := pf.Close(); err != nil {
+		return err
+	}
+	jf, err := os.Create(jsonlPath(promPath))
+	if err != nil {
+		return err
+	}
+	if err := s.WriteJSONL(jf); err != nil {
+		jf.Close()
+		return err
+	}
+	return jf.Close()
 }
 
 func kindNames() []string {

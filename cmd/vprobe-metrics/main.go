@@ -1,0 +1,168 @@
+// Command vprobe-metrics works with the telemetry exports of vprobe-sim
+// and vprobe-cluster.
+//
+// Usage:
+//
+//	vprobe-metrics check file.prom
+//	vprobe-metrics diff a.jsonl b.jsonl
+//
+// check validates a Prometheus text exposition file and reports the series
+// and sample counts. diff compares two runs' JSONL time series, printing
+// the final-value and mean deltas of every series present in both files
+// and noting series present in only one — the intended workflow for
+// before/after comparisons of a scheduler or configuration change.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"vprobe/internal/telemetry"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "check":
+		if len(os.Args) != 3 {
+			usage()
+		}
+		err = check(os.Args[2])
+	case "diff":
+		if len(os.Args) != 4 {
+			usage()
+		}
+		err = diff(os.Args[2], os.Args[3])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: %s check file.prom | diff a.jsonl b.jsonl\n", os.Args[0])
+	os.Exit(2)
+}
+
+// check validates one Prometheus exposition file.
+func check(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	series, samples, err := telemetry.ValidateExposition(data)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	fmt.Printf("ok: %d series, %d samples\n", series, samples)
+	return nil
+}
+
+// seriesData is one run's JSONL export: per-series value sequences, plus
+// the row count for mean computation.
+type seriesData struct {
+	rows   int
+	final  map[string]float64
+	sum    map[string]float64
+	counts map[string]int
+}
+
+// readJSONL parses one JSONL time-series file.
+func readJSONL(path string) (*seriesData, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	d := &seriesData{
+		final:  make(map[string]float64),
+		sum:    make(map[string]float64),
+		counts: make(map[string]int),
+	}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec map[string]float64
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return nil, fmt.Errorf("%s line %d: %w", path, d.rows+1, err)
+		}
+		d.rows++
+		for k, v := range rec {
+			if k == "t" {
+				continue
+			}
+			d.final[k] = v
+			d.sum[k] += v
+			d.counts[k]++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if d.rows == 0 {
+		return nil, fmt.Errorf("%s: no samples", path)
+	}
+	return d, nil
+}
+
+// diff compares two JSONL exports series by series.
+func diff(pathA, pathB string) error {
+	a, err := readJSONL(pathA)
+	if err != nil {
+		return err
+	}
+	b, err := readJSONL(pathB)
+	if err != nil {
+		return err
+	}
+	// Union of series names, sorted for a stable report.
+	nameSet := make(map[string]bool, len(a.final))
+	for k := range a.final {
+		nameSet[k] = true
+	}
+	for k := range b.final {
+		nameSet[k] = true
+	}
+	names := make([]string, 0, len(nameSet))
+	for k := range nameSet {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+
+	fmt.Printf("a: %s (%d samples)\nb: %s (%d samples)\n\n", pathA, a.rows, pathB, b.rows)
+	fmt.Printf("%-52s %14s %14s %14s\n", "series", "final a", "final b", "mean delta")
+	onlyA, onlyB := 0, 0
+	for _, k := range names {
+		fa, inA := a.final[k]
+		fb, inB := b.final[k]
+		switch {
+		case !inB:
+			onlyA++
+			fmt.Printf("%-52s %14.6g %14s %14s\n", k, fa, "-", "only in a")
+		case !inA:
+			onlyB++
+			fmt.Printf("%-52s %14s %14.6g %14s\n", k, "-", fb, "only in b")
+		default:
+			meanA := a.sum[k] / float64(a.counts[k])
+			meanB := b.sum[k] / float64(b.counts[k])
+			fmt.Printf("%-52s %14.6g %14.6g %+14.6g\n", k, fa, fb, meanB-meanA)
+		}
+	}
+	if onlyA+onlyB > 0 {
+		fmt.Printf("\n%d series only in a, %d only in b\n", onlyA, onlyB)
+	}
+	return nil
+}

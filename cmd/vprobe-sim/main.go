@@ -14,6 +14,13 @@
 // or SIGTERM cancels the run promptly. Progress events stream to stderr,
 // and with -out they are also exported as events.jsonl next to the CSV/JSON
 // result files.
+//
+// With -metrics FILE the command instead runs one instrumented standard
+// scenario (a measured VM under the vprobe scheduler beside a cache-hungry
+// burner VM) and exports telemetry: the final state of every series as
+// Prometheus text exposition to FILE, and the per-period time series as
+// JSON Lines next to it (FILE with a .jsonl suffix). -metrics-every sets
+// the virtual-time sampling period.
 package main
 
 import (
@@ -23,9 +30,11 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
+	"vprobe"
 	"vprobe/internal/experiments"
 	"vprobe/internal/harness"
 )
@@ -41,6 +50,8 @@ func main() {
 	out := flag.String("out", "", "directory for CSV/JSON result and JSONL event exports")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (taken after the run) to this file")
+	metrics := flag.String("metrics", "", "run the instrumented standard scenario and write Prometheus metrics to this file (plus a .jsonl time series next to it)")
+	metricsEvery := flag.Duration("metrics-every", time.Second, "virtual-time sampling period for -metrics")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: %s [flags] [experiment ...]\n\nexperiments:\n", os.Args[0])
 		for _, e := range experiments.All() {
@@ -60,6 +71,18 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *metrics != "" {
+		if flag.NArg() > 0 {
+			fmt.Fprintf(os.Stderr, "-metrics runs the standard scenario; unexpected experiments: %v\n", flag.Args())
+			os.Exit(2)
+		}
+		if err := runMetrics(ctx, *metrics, *metricsEvery, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var sinks []harness.Sink
 	if !*quiet {
@@ -138,4 +161,84 @@ func main() {
 	if failed || err != nil {
 		os.Exit(1)
 	}
+}
+
+// runMetrics runs the instrumented standard scenario for 30 virtual
+// seconds: a measured VM (striped memory, four soplex instances, guest
+// housekeeping on the rest) under the vprobe scheduler, beside a burner VM
+// of endless cache-hungry apps that keeps every PCPU contended to the
+// horizon. The final series go to promPath; the per-period time series go
+// next to it as JSON Lines.
+func runMetrics(ctx context.Context, promPath string, every time.Duration, seed uint64) error {
+	tele := vprobe.NewTelemetry(vprobe.TelemetryOptions{Every: every})
+	s, err := vprobe.NewSimulator(vprobe.Config{
+		Scheduler: vprobe.SchedulerVProbe,
+		Seed:      seed,
+		Telemetry: tele,
+	})
+	if err != nil {
+		return err
+	}
+	vm, err := s.AddVM(vprobe.VMConfig{
+		Name: "measured", MemoryMB: 8 * 1024, VCPUs: 8,
+		Memory: vprobe.MemStripe, FillGuestIdle: true,
+	})
+	if err != nil {
+		return err
+	}
+	for i := 0; i < 4; i++ {
+		if err := vm.RunApp("soplex"); err != nil {
+			return err
+		}
+	}
+	burner, err := s.AddVM(vprobe.VMConfig{Name: "burner", MemoryMB: 1024, VCPUs: 8})
+	if err != nil {
+		return err
+	}
+	for i := 0; i < 8; i++ {
+		if err := burner.RunApp("hungry"); err != nil {
+			return err
+		}
+	}
+	report, err := s.RunContext(ctx, 30*time.Second)
+	if err != nil {
+		return err
+	}
+	fmt.Print(report)
+	if err := writeMetrics(tele, promPath); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "(%d samples -> %s, %s)\n",
+		tele.Samples(), promPath, jsonlPath(promPath))
+	return nil
+}
+
+// jsonlPath places the time-series export next to the Prometheus file.
+func jsonlPath(promPath string) string {
+	return strings.TrimSuffix(promPath, ".prom") + ".jsonl"
+}
+
+// writeMetrics exports a collector: final state as Prometheus text to
+// promPath, time series as JSON Lines next to it.
+func writeMetrics(tele *vprobe.Telemetry, promPath string) error {
+	pf, err := os.Create(promPath)
+	if err != nil {
+		return err
+	}
+	if err := tele.WritePrometheus(pf); err != nil {
+		pf.Close()
+		return err
+	}
+	if err := pf.Close(); err != nil {
+		return err
+	}
+	jf, err := os.Create(jsonlPath(promPath))
+	if err != nil {
+		return err
+	}
+	if err := tele.WriteJSONL(jf); err != nil {
+		jf.Close()
+		return err
+	}
+	return jf.Close()
 }

@@ -4,12 +4,19 @@
 //
 // Usage:
 //
-//	vprobe-trace [-sched vprobe] [-seconds 3] [-apps soplex,libquantum]
+//	vprobe-trace [-sched vprobe] [-seconds 3] [-apps soplex,libquantum] [-json]
+//
+// With -json each event is emitted as one JSON object per line on stdout
+// (machine-readable stream); the report moves to stderr so stdout stays
+// pure JSONL.
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -17,19 +24,58 @@ import (
 	"vprobe"
 )
 
+// jsonEvent is the -json wire form of one vprobe.Event: virtual time in
+// seconds plus the typed identity fields. Empty identities are omitted.
+type jsonEvent struct {
+	T      float64 `json:"t"`
+	Kind   string  `json:"kind"`
+	VCPU   int     `json:"vcpu"`
+	Node   int     `json:"node"`
+	App    string  `json:"app,omitempty"`
+	Host   string  `json:"host,omitempty"`
+	VM     string  `json:"vm,omitempty"`
+	Detail string  `json:"detail"`
+}
+
+// jsonSink streams events as JSON Lines.
+func jsonSink(w io.Writer) vprobe.EventSink {
+	enc := json.NewEncoder(w)
+	return vprobe.EventFunc(func(ev vprobe.Event) {
+		enc.Encode(jsonEvent{
+			T:      ev.At.Seconds(),
+			Kind:   string(ev.Kind),
+			VCPU:   ev.VCPU,
+			Node:   ev.Node,
+			App:    ev.App,
+			Host:   ev.Host,
+			VM:     ev.VM,
+			Detail: ev.Detail,
+		})
+	})
+}
+
 func main() {
 	schedName := flag.String("sched", "vprobe", "scheduler: credit|vprobe|vcpu-p|lb|brm")
 	seconds := flag.Float64("seconds", 2, "virtual seconds to trace")
 	apps := flag.String("apps", "soplex,libquantum", "comma-separated catalog apps for the traced VM")
 	seed := flag.Uint64("seed", 1, "simulation seed")
+	asJSON := flag.Bool("json", false, "emit one JSON object per event (report goes to stderr)")
 	flag.Parse()
 
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	var sink vprobe.EventSink
+	if *asJSON {
+		sink = jsonSink(out)
+	} else {
+		sink = vprobe.EventFunc(func(ev vprobe.Event) {
+			fmt.Fprintf(out, "%12.6f  %-14s %s\n", ev.At.Seconds(), ev.Kind, ev.Detail)
+		})
+	}
 	sim, err := vprobe.NewSimulator(vprobe.Config{
 		Scheduler: vprobe.Scheduler(*schedName),
 		Seed:      *seed,
-		Events: vprobe.EventFunc(func(ev vprobe.Event) {
-			fmt.Printf("%12.6f  %-14s %s\n", ev.At.Seconds(), ev.Kind, ev.Detail)
-		}),
+		Events:    sink,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -67,6 +113,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Println()
-	fmt.Print(report)
+	if *asJSON {
+		out.Flush()
+		fmt.Fprint(os.Stderr, report)
+		return
+	}
+	fmt.Fprintln(out)
+	fmt.Fprint(out, report)
 }

@@ -16,4 +16,7 @@ var (
 	// ErrUnknownPolicy: ClusterConfig.Policy names no registered placement
 	// policy.
 	ErrUnknownPolicy = errors.New("vprobe: unknown placement policy")
+	// ErrTelemetryAttached: the Telemetry collector was already handed to
+	// another run; each collector records exactly one.
+	ErrTelemetryAttached = errors.New("vprobe: telemetry already attached to a run")
 )

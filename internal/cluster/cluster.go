@@ -26,6 +26,7 @@ import (
 	"vprobe/internal/mem"
 	"vprobe/internal/sched"
 	"vprobe/internal/sim"
+	"vprobe/internal/telemetry"
 	"vprobe/internal/workload"
 )
 
@@ -80,6 +81,12 @@ type Config struct {
 	Overcommit float64
 	// Events, when set, receives cluster-scoped events.
 	Events func(Event)
+	// Telemetry, when set, collects the cluster's metric series:
+	// admission/migration gauges plus every host's full xen series tagged
+	// host="hostN". The sampler must be fresh (not yet started); Run
+	// starts it on the cluster engine. Attaching telemetry never changes
+	// simulation results.
+	Telemetry *telemetry.Sampler
 }
 
 // normalized fills defaults.
@@ -188,6 +195,9 @@ func New(cfg Config) (*Cluster, error) {
 		}
 		c.hosts = append(c.hosts, ho)
 	}
+	if cfg.Telemetry != nil {
+		c.attachTelemetry(cfg.Telemetry)
+	}
 	return c, nil
 }
 
@@ -195,6 +205,9 @@ func New(cfg Config) (*Cluster, error) {
 // called once.
 func (c *Cluster) Run(ctx context.Context) (*Report, error) {
 	c.ctx = ctx
+	if c.cfg.Telemetry != nil {
+		c.cfg.Telemetry.Start(c.engine)
+	}
 	c.scheduleNextArrival()
 	if c.cfg.RebalancePeriod > 0 {
 		c.engine.Every(c.cfg.RebalancePeriod, c.cfg.RebalancePeriod, "rebalance",
@@ -269,7 +282,7 @@ func (c *Cluster) onArrival() {
 	}
 	c.vms = append(c.vms, vm)
 	c.stats.Arrivals++
-	c.emit(EventVMArrive, "", spec.Name, "vm %s arrives: %d MB, %d vcpus",
+	c.emit(EventVMArrive, nil, vm, "vm %s arrives: %d MB, %d vcpus",
 		spec.Name, spec.MemoryMB, spec.VCPUs)
 	c.tryPlace(vm)
 }
@@ -350,13 +363,13 @@ func (c *Cluster) tryPlace(vm *VM) {
 		if vm.retries > c.cfg.MaxRetries {
 			vm.state = stateRejected
 			c.stats.Rejected++
-			c.emit(EventVMReject, "", vm.Spec.Name, "vm %s rejected after %d attempts: %v",
+			c.emit(EventVMReject, nil, vm, "vm %s rejected after %d attempts: %v",
 				vm.Spec.Name, vm.retries, err)
 			return
 		}
 		c.stats.Retries++
 		backoff := c.cfg.RetryBackoff * sim.Duration(vm.retries)
-		c.emit(EventVMRetry, "", vm.Spec.Name, "vm %s queued (attempt %d, retry in %v): %v",
+		c.emit(EventVMRetry, nil, vm, "vm %s queued (attempt %d, retry in %v): %v",
 			vm.Spec.Name, vm.retries, backoff, err)
 		c.engine.Schedule(backoff, "retry", func(*sim.Engine) {
 			if vm.state != statePending || !c.sync() {
@@ -403,7 +416,7 @@ func (c *Cluster) placeOn(vm *VM, ho *Host, plan MemPlan) {
 	ho.VMs = append(ho.VMs, vm)
 	ho.Placed++
 	c.stats.Placed++
-	c.emit(EventVMPlace, ho.Name, vm.Spec.Name,
+	c.emit(EventVMPlace, ho, vm,
 		"vm %s placed on %s (%s memory, attempt %d)",
 		vm.Spec.Name, ho.Name, plan.Policy, vm.retries+1)
 	if vm.departAt == 0 {
@@ -436,7 +449,7 @@ func (c *Cluster) onDepart(vm *VM) {
 	vm.Host.removeVM(vm)
 	vm.state = stateDeparted
 	c.stats.Departed++
-	c.emit(EventVMDepart, vm.Host.Name, vm.Spec.Name, "vm %s departs %s after %v",
+	c.emit(EventVMDepart, vm.Host, vm, "vm %s departs %s after %v",
 		vm.Spec.Name, vm.Host.Name, c.engine.Now().Sub(vm.arriveAt))
 }
 
@@ -546,7 +559,7 @@ func (c *Cluster) startMigration(vm *VM, target *Host, plan MemPlan) {
 
 	cycles := c.migrator.FullCopyCycles(vm.Spec.MemoryMB)
 	blackout := sim.Duration(cycles / target.Top.CyclesPerMicrosecond())
-	c.emit(EventMigrateStart, src.Name, vm.Spec.Name,
+	c.emit(EventMigrateStart, src, vm,
 		"vm %s migrating %s -> %s (%d MB, blackout %v)",
 		vm.Spec.Name, src.Name, target.Name, vm.Spec.MemoryMB, blackout)
 	c.engine.Schedule(blackout, "migrate-done", func(*sim.Engine) { c.finishMigration(vm) })
@@ -569,6 +582,6 @@ func (c *Cluster) finishMigration(vm *VM) {
 	vm.state = stateRunning
 	vm.placedAt = c.engine.Now()
 	vm.Host.Placed++
-	c.emit(EventMigrateDone, vm.Host.Name, vm.Spec.Name,
+	c.emit(EventMigrateDone, vm.Host, vm,
 		"vm %s resumed on %s", vm.Spec.Name, vm.Host.Name)
 }

@@ -46,16 +46,24 @@ type Event struct {
 func (ev Event) String() string { return ev.Detail }
 
 // emit delivers a cluster event; formatting is skipped when no listener is
-// attached, so tracing is free when off.
-func (c *Cluster) emit(kind EventKind, host, vm, format string, args ...any) {
+// attached, so tracing is free when off. Identities are derived here from
+// the model objects rather than threaded as loose strings, so an event can
+// never carry a name its call site forgot to fill in: vm is required, ho
+// is nil only for kinds that genuinely have no host (arrival, retry,
+// rejection).
+func (c *Cluster) emit(kind EventKind, ho *Host, vm *VM, format string, args ...any) {
 	if c.cfg.Events == nil {
 		return
+	}
+	host := ""
+	if ho != nil {
+		host = ho.Name
 	}
 	c.cfg.Events(Event{
 		At:     c.engine.Now(),
 		Kind:   kind,
 		Host:   host,
-		VM:     vm,
+		VM:     vm.Spec.Name,
 		Detail: fmt.Sprintf(format, args...),
 	})
 }

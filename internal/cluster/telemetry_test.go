@@ -1,0 +1,162 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"vprobe/internal/sim"
+	"vprobe/internal/telemetry"
+)
+
+// telemetryCfg is a busy little cluster: high arrival rate onto two hosts
+// forces retries and rejections, the batch mix plus a low pressure limit
+// forces migrations — every event kind and every gauge moves.
+func telemetryCfg() Config {
+	return Config{
+		Hosts:             3,
+		Horizon:           150 * sim.Second,
+		Seed:              5,
+		ArrivalsPerSecond: 0.8,
+		MeanLifetime:      100 * sim.Second,
+		Mix:               "batch",
+		Policy:            "pack",
+		LLCPressureLimit:  20,
+		RebalancePeriod:   5 * sim.Second,
+		Workers:           1,
+	}
+}
+
+// TestClusterEventIdentity is the identity invariant: no cluster event may
+// reach a sink with both Host and VM empty, VM is always set, and the
+// host-scoped kinds always carry a host name.
+func TestClusterEventIdentity(t *testing.T) {
+	cfg := telemetryCfg()
+	seen := map[EventKind]int{}
+	cfg.Events = func(ev Event) {
+		seen[ev.Kind]++
+		if ev.Host == "" && ev.VM == "" {
+			t.Fatalf("%s event at %v with no identity: %q", ev.Kind, ev.At, ev.Detail)
+		}
+		if ev.VM == "" {
+			t.Fatalf("%s event at %v without a VM: %q", ev.Kind, ev.At, ev.Detail)
+		}
+		switch ev.Kind {
+		case EventVMPlace, EventVMDepart, EventMigrateStart, EventMigrateDone:
+			if ev.Host == "" {
+				t.Fatalf("%s event at %v without a host: %q", ev.Kind, ev.At, ev.Detail)
+			}
+		}
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// The invariant is only meaningful if the run exercised every path.
+	for _, kind := range []EventKind{
+		EventVMArrive, EventVMPlace, EventVMRetry, EventVMReject,
+		EventVMDepart, EventMigrateStart,
+	} {
+		if seen[kind] == 0 {
+			t.Fatalf("scenario never emitted %s; invariant untested", kind)
+		}
+	}
+}
+
+// TestClusterTelemetrySeries runs an instrumented cluster and checks the
+// exported series against the report.
+func TestClusterTelemetrySeries(t *testing.T) {
+	cfg := telemetryCfg()
+	s := telemetry.NewSampler(telemetry.NewRegistry(), sim.Second)
+	cfg.Telemetry = s
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := s.Rows(), int(cfg.Horizon/sim.Second); got != want {
+		t.Fatalf("sampled %d rows over %v, want %d", got, cfg.Horizon, want)
+	}
+
+	var buf bytes.Buffer
+	if err := s.Registry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	series, _, err := telemetry.ValidateExposition(buf.Bytes())
+	if err != nil {
+		t.Fatalf("exposition invalid: %v", err)
+	}
+	if series < 10 {
+		t.Fatalf("only %d series exported, want >= 10", series)
+	}
+	// The lifecycle gauges must agree with the report at the horizon.
+	for name, want := range map[string]int{
+		"cluster_vm_arrivals":   rep.Arrivals,
+		"cluster_vm_placed":     rep.Placed,
+		"cluster_vm_retries":    rep.Retries,
+		"cluster_vm_rejected":   rep.Rejected,
+		"cluster_vm_departed":   rep.Departed,
+		"cluster_vm_migrations": rep.Migrations,
+	} {
+		line := fmt.Sprintf("%s %d\n", name, want)
+		if !strings.Contains(out, line) {
+			t.Fatalf("exposition missing %q (report says %d)", line, want)
+		}
+	}
+	// Per-host series must exist for every host.
+	for i := 0; i < cfg.Hosts; i++ {
+		for _, name := range []string{
+			"cluster_host_vms", "cluster_host_free_mb", "xen_dispatches_total",
+		} {
+			probe := fmt.Sprintf(`%s{host="host%d"}`, name, i)
+			if !strings.Contains(out, probe) {
+				t.Fatalf("exposition missing %s", probe)
+			}
+		}
+	}
+}
+
+// TestClusterTelemetryDoesNotPerturb is the acceptance criterion: report
+// and event log are byte-identical with telemetry on or off, at worker
+// counts 1, 4, and 8.
+func TestClusterTelemetryDoesNotPerturb(t *testing.T) {
+	var want string
+	for _, workers := range []int{1, 4, 8} {
+		for _, withTele := range []bool{false, true} {
+			cfg := telemetryCfg()
+			cfg.Workers = workers
+			var log strings.Builder
+			cfg.Events = func(ev Event) {
+				fmt.Fprintf(&log, "%v %s %s %s %s\n", ev.At, ev.Kind, ev.Host, ev.VM, ev.Detail)
+			}
+			if withTele {
+				cfg.Telemetry = telemetry.NewSampler(telemetry.NewRegistry(), sim.Second)
+			}
+			c, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := c.Run(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := rep.String() + "\n" + log.String()
+			if want == "" {
+				want = got
+				continue
+			}
+			if got != want {
+				t.Fatalf("run diverges at workers=%d telemetry=%v", workers, withTele)
+			}
+		}
+	}
+}

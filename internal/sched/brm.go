@@ -4,6 +4,7 @@ import (
 	"vprobe/internal/core"
 	"vprobe/internal/numa"
 	"vprobe/internal/sim"
+	"vprobe/internal/telemetry"
 	"vprobe/internal/xen"
 )
 
@@ -39,6 +40,13 @@ type BRM struct {
 	// hypervisor, so one set suffices).
 	cands   []brmCand
 	weights []float64
+
+	// Pre-bound telemetry handles for the global-lock model (nil until
+	// AttachTelemetry): update count, accumulated convoy wait, and the
+	// contender census the quadratic cost is computed from.
+	lockUpdates    *telemetry.Counter
+	lockWaitUS     *telemetry.Counter
+	lockContenders *telemetry.Gauge
 }
 
 // brmCand pairs a stealable VCPU with the queue holding it.
@@ -68,6 +76,19 @@ func (*BRM) UsesPMU() bool { return true }
 // default machine-wide placement re-pick.
 func (*BRM) NUMAAwareBalance() bool { return false }
 
+// AttachTelemetry implements xen.PolicyTelemetry: BRM's documented
+// weakness is only diagnosable as a time series, so the lock model
+// exports its update count, accumulated convoy wait, and contender
+// census.
+func (s *BRM) AttachTelemetry(reg *telemetry.Registry, labels ...telemetry.Label) {
+	s.lockUpdates = reg.Counter("sched_brm_lock_updates_total",
+		"Penalty updates taken under BRM's system-wide lock.", labels...)
+	s.lockWaitUS = reg.Counter("sched_brm_lock_wait_us_total",
+		"Accumulated convoy wait charged by the lock-contention model.", labels...)
+	s.lockContenders = reg.Gauge("sched_brm_lock_contenders",
+		"Active VCPUs contending for the penalty lock at the last update.", labels...)
+}
+
 // lockCost returns the convoy cost in microseconds of one penalty update.
 // Contention scales with the number of VCPUs whose penalties the update
 // walks (the paper's observation: fine above 8 VCPUs, pathological at 24).
@@ -78,11 +99,18 @@ func (s *BRM) lockCost(h *xen.Hypervisor) float64 {
 			vcpus++
 		}
 	}
+	if s.lockContenders != nil {
+		s.lockContenders.Set(float64(vcpus))
+	}
 	excess := vcpus - s.LockFreeVCPUs
 	if excess <= 0 {
 		return 0
 	}
-	return s.LockMicros * float64(excess) * float64(excess)
+	cost := s.LockMicros * float64(excess) * float64(excess)
+	if s.lockWaitUS != nil {
+		s.lockWaitUS.Add(cost)
+	}
+	return cost
 }
 
 // OnTick implements xen.Policy: each running VCPU's uncore penalty is
@@ -90,6 +118,9 @@ func (s *BRM) lockCost(h *xen.Hypervisor) float64 {
 func (s *BRM) OnTick(h *xen.Hypervisor, v *xen.VCPU) {
 	cpm := h.Top.CyclesPerMicrosecond()
 	cost := h.Config.PMUUpdateMicros + s.lockCost(h)
+	if s.lockUpdates != nil {
+		s.lockUpdates.Inc()
+	}
 	v.AddOverhead(cost*cpm, cpm)
 	h.SampleOverhead += sim.Duration(h.Config.PMUUpdateMicros)
 }
@@ -137,6 +168,9 @@ func (s *BRM) PickNext(h *xen.Hypervisor, p *xen.PCPU) *xen.VCPU {
 	c := cands[idx]
 	if !c.q.Remove(c.v) {
 		return nil
+	}
+	if h.Tele != nil {
+		h.Tele.NoteSteal(c.q.Node == p.Node)
 	}
 	return c.v
 }

@@ -1,0 +1,206 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus exports the current (cumulative) state of every series
+// in Prometheus text exposition format, in registration order. HELP and
+// TYPE lines are emitted once per metric name, before its first series.
+// Histograms expand into cumulative `_bucket{le=...}` series plus `_sum`
+// and `_count`.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	described := make(map[string]bool, len(r.byName))
+	for _, sr := range r.series {
+		if !described[sr.name] {
+			described[sr.name] = true
+			fmt.Fprintf(bw, "# HELP %s %s\n", sr.name, sr.help)
+			fmt.Fprintf(bw, "# TYPE %s %s\n", sr.name, sr.kind)
+		}
+		switch sr.kind {
+		case KindCounter:
+			writeSample(bw, sr.id, sr.c.v)
+		case KindGauge:
+			writeSample(bw, sr.id, sr.g.v)
+		case KindHistogram:
+			h := sr.h
+			var cum uint64
+			for i, b := range h.bounds {
+				cum += h.counts[i]
+				id := renderID(sr.name+"_bucket", withLabel(sr.labels,
+					Label{Key: "le", Value: formatFloat(b)}))
+				writeSample(bw, id, float64(cum))
+			}
+			id := renderID(sr.name+"_bucket", withLabel(sr.labels,
+				Label{Key: "le", Value: "+Inf"}))
+			writeSample(bw, id, float64(h.count))
+			writeSample(bw, renderID(sr.name+"_sum", sr.labels), h.sum)
+			writeSample(bw, renderID(sr.name+"_count", sr.labels), float64(h.count))
+		}
+	}
+	return bw.Flush()
+}
+
+// withLabel returns labels plus l in a fresh slice (never aliasing the
+// series' own label storage).
+func withLabel(labels []Label, l Label) []Label {
+	out := make([]Label, 0, len(labels)+1)
+	out = append(out, labels...)
+	return append(out, l)
+}
+
+// writeSample emits one `id value` line.
+func writeSample(w io.Writer, id string, v float64) {
+	fmt.Fprintf(w, "%s %s\n", id, formatFloat(v))
+}
+
+// formatFloat renders a value the shortest way that round-trips.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// ValidateExposition is a trivial Prometheus text-format checker (the CI
+// lint gate behind `vprobe-metrics check`): every line must be blank, a
+// `# HELP`/`# TYPE` comment, or a `series value` sample whose name obeys
+// the metric grammar, whose labels parse, and whose family has a TYPE
+// declared earlier in the stream. It returns the distinct series and
+// total sample counts.
+func ValidateExposition(data []byte) (seriesCount, samples int, err error) {
+	typed := make(map[string]string)
+	seen := make(map[string]bool)
+	lineNo := 0
+	for len(data) > 0 {
+		lineNo++
+		var line string
+		if i := bytes.IndexByte(data, '\n'); i >= 0 {
+			line = string(data[:i])
+			data = data[i+1:]
+		} else {
+			line = string(data)
+			data = nil
+		}
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return 0, 0, fmt.Errorf("line %d: malformed comment %q", lineNo, line)
+			}
+			name := fields[2]
+			if !validMetricName(name) {
+				return 0, 0, fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) < 4 {
+					return 0, 0, fmt.Errorf("line %d: TYPE without a type", lineNo)
+				}
+				typ := fields[3]
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return 0, 0, fmt.Errorf("line %d: unknown type %q", lineNo, typ)
+				}
+				typed[name] = typ
+			}
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			return 0, 0, fmt.Errorf("line %d: no value in sample %q", lineNo, line)
+		}
+		id, val := line[:sp], line[sp+1:]
+		if _, err := strconv.ParseFloat(val, 64); err != nil {
+			return 0, 0, fmt.Errorf("line %d: bad value %q: %w", lineNo, val, err)
+		}
+		name := id
+		if i := strings.IndexByte(id, '{'); i >= 0 {
+			if !strings.HasSuffix(id, "}") {
+				return 0, 0, fmt.Errorf("line %d: unterminated label block in %q", lineNo, id)
+			}
+			name = id[:i]
+			if err := validateLabels(id[i+1 : len(id)-1]); err != nil {
+				return 0, 0, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+		}
+		if !validMetricName(name) {
+			return 0, 0, fmt.Errorf("line %d: invalid series name %q", lineNo, name)
+		}
+		if familyOf(name, typed) == "" {
+			return 0, 0, fmt.Errorf("line %d: series %q has no TYPE declaration", lineNo, name)
+		}
+		if !seen[id] {
+			seen[id] = true
+			seriesCount++
+		}
+		samples++
+	}
+	if samples == 0 {
+		return 0, 0, fmt.Errorf("no samples")
+	}
+	return seriesCount, samples, nil
+}
+
+// familyOf resolves a sample name to its declared family: the name
+// itself, or — for histogram/summary components — the name with its
+// _bucket/_sum/_count suffix stripped.
+func familyOf(name string, typed map[string]string) string {
+	if _, ok := typed[name]; ok {
+		return name
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base == name {
+			continue
+		}
+		if t, ok := typed[base]; ok && (t == "histogram" || t == "summary") {
+			return base
+		}
+	}
+	return ""
+}
+
+// validateLabels checks a k="v",... label block.
+func validateLabels(block string) error {
+	if block == "" {
+		return nil
+	}
+	for _, pair := range splitLabels(block) {
+		eq := strings.IndexByte(pair, '=')
+		if eq < 0 {
+			return fmt.Errorf("label %q has no '='", pair)
+		}
+		k, v := pair[:eq], pair[eq+1:]
+		if !validMetricName(k) || strings.ContainsAny(k, ":") {
+			return fmt.Errorf("invalid label name %q", k)
+		}
+		if len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+			return fmt.Errorf("label value %s not quoted", v)
+		}
+	}
+	return nil
+}
+
+// splitLabels splits on commas outside quotes.
+func splitLabels(block string) []string {
+	var out []string
+	start, inQuote := 0, false
+	for i := 0; i < len(block); i++ {
+		switch block[i] {
+		case '"':
+			inQuote = !inQuote
+		case ',':
+			if !inQuote {
+				out = append(out, block[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(out, block[start:])
+}

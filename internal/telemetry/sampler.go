@@ -1,0 +1,175 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+
+	"vprobe/internal/sim"
+)
+
+// preallocRows is the number of sample rows (and row times) the ring
+// reserves at Start. 2048 rows covers over half an hour of simulated time
+// at the default one-second period; runs inside that envelope sample with
+// zero allocations, longer runs grow the ring amortized (outside the
+// steady-state guardrail windows, which are far shorter).
+const preallocRows = 2048
+
+// cellKind selects how one ring cell reads its source series.
+type cellKind uint8
+
+const (
+	cellCounter cellKind = iota
+	cellGauge
+	cellHistSum
+	cellHistCount
+)
+
+// cell is one column of the time-series ring: a series id plus how to
+// read one float64 from its handle. Histograms contribute two cells
+// (name_sum, name_count); their per-bucket breakdown is exported through
+// the Prometheus endpoint only, keeping rows compact.
+type cell struct {
+	id   string
+	kind cellKind
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+}
+
+// value reads the cell's current value.
+func (cl *cell) value() float64 {
+	switch cl.kind {
+	case cellCounter:
+		return cl.c.v
+	case cellGauge:
+		return cl.g.v
+	case cellHistSum:
+		return cl.h.sum
+	default:
+		return float64(cl.h.count)
+	}
+}
+
+// Sampler snapshots a Registry's series into an in-memory time-series
+// ring at a fixed virtual-time period. Hooks registered with OnSample run
+// (in registration order) immediately before each snapshot, so gauges
+// derived from model state are fresh in every row.
+type Sampler struct {
+	reg     *Registry
+	period  sim.Duration
+	hooks   []func()
+	cells   []cell
+	times   []sim.Time
+	data    []float64 // row-major: len(times) rows of len(cells) columns
+	started bool
+}
+
+// NewSampler builds a sampler over reg. A non-positive period defaults to
+// one simulated second (the paper's PMU sampling period).
+func NewSampler(reg *Registry, period sim.Duration) *Sampler {
+	if period <= 0 {
+		period = sim.Second
+	}
+	return &Sampler{reg: reg, period: period}
+}
+
+// Registry returns the registry the sampler snapshots.
+func (s *Sampler) Registry() *Registry { return s.reg }
+
+// Period returns the sampling period.
+func (s *Sampler) Period() sim.Duration { return s.period }
+
+// OnSample registers a hook to run before each snapshot, after any hooks
+// registered earlier. Hooks must only read simulation state (never mutate
+// it, consume randomness, or schedule events): the telemetry-off and
+// telemetry-on runs of the same seed must stay byte-identical.
+func (s *Sampler) OnSample(fn func()) {
+	if s.started {
+		panic("telemetry: OnSample after Start")
+	}
+	s.hooks = append(s.hooks, fn)
+}
+
+// Start seals the registry, preallocates the ring, and arms the sampling
+// ticker on e: the first snapshot lands at one period after the current
+// engine time, then every period thereafter. Call it once, after the
+// model's own tickers are armed, so same-timestamp model updates (e.g.
+// the PMU period pass) order before the snapshot that reads them.
+func (s *Sampler) Start(e *sim.Engine) {
+	if s.started {
+		panic("telemetry: Start called twice")
+	}
+	s.started = true
+	s.reg.seal()
+	for _, sr := range s.reg.series {
+		switch sr.kind {
+		case KindCounter:
+			s.cells = append(s.cells, cell{id: sr.id, kind: cellCounter, c: sr.c})
+		case KindGauge:
+			s.cells = append(s.cells, cell{id: sr.id, kind: cellGauge, g: sr.g})
+		case KindHistogram:
+			s.cells = append(s.cells,
+				cell{id: renderID(sr.name+"_sum", sr.labels), kind: cellHistSum, h: sr.h},
+				cell{id: renderID(sr.name+"_count", sr.labels), kind: cellHistCount, h: sr.h})
+		}
+	}
+	s.times = make([]sim.Time, 0, preallocRows)
+	s.data = make([]float64, 0, preallocRows*len(s.cells))
+	e.Every(s.period, s.period, "telemetry-sample", func(e *sim.Engine) { s.snapshot(e.Now()) })
+}
+
+// snapshot runs the hooks and appends one row.
+func (s *Sampler) snapshot(now sim.Time) {
+	for _, fn := range s.hooks {
+		fn()
+	}
+	s.times = append(s.times, now)
+	for i := range s.cells {
+		s.data = append(s.data, s.cells[i].value())
+	}
+}
+
+// Rows returns the number of samples captured so far.
+func (s *Sampler) Rows() int { return len(s.times) }
+
+// WriteJSONL exports the ring as JSON Lines: one object per sample, with
+// "t" (the sample's virtual time in seconds) first and then one key per
+// cell in registration order. Label blocks appear in the key unquoted —
+// `xen_steals_total{kind=local}` — so keys need no JSON escaping and stay
+// grep-friendly.
+func (s *Sampler) WriteJSONL(w io.Writer) error {
+	if !s.started {
+		return fmt.Errorf("telemetry: WriteJSONL before Start")
+	}
+	buf := make([]byte, 0, 64*len(s.cells))
+	for row := 0; row < len(s.times); row++ {
+		buf = buf[:0]
+		buf = append(buf, `{"t":`...)
+		buf = strconv.AppendFloat(buf, s.times[row].Seconds(), 'g', -1, 64)
+		base := row * len(s.cells)
+		for i := range s.cells {
+			buf = append(buf, ',', '"')
+			buf = appendJSONKey(buf, s.cells[i].id)
+			buf = append(buf, '"', ':')
+			buf = strconv.AppendFloat(buf, s.data[base+i], 'g', -1, 64)
+		}
+		buf = append(buf, '}', '\n')
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// appendJSONKey appends the series id with its label values unquoted
+// (`name{k=v}`), which keeps the key free of characters needing JSON
+// escapes (ids are built from metric names and label literals only).
+func appendJSONKey(buf []byte, id string) []byte {
+	for i := 0; i < len(id); i++ {
+		if id[i] != '"' {
+			buf = append(buf, id[i])
+		}
+	}
+	return buf
+}

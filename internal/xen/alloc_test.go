@@ -7,6 +7,7 @@ import (
 	"vprobe/internal/numa"
 	"vprobe/internal/sched"
 	"vprobe/internal/sim"
+	"vprobe/internal/telemetry"
 	"vprobe/internal/workload"
 	"vprobe/internal/xen"
 )
@@ -46,7 +47,24 @@ func newSteadyStateHV(t testing.TB, kind sched.Kind) *xen.Hypervisor {
 // off). Any regression that reintroduces a per-quantum allocation fails
 // this test rather than quietly degrading throughput.
 func TestQuantumSteadyStateZeroAlloc(t *testing.T) {
+	testQuantumSteadyStateZeroAlloc(t, false)
+}
+
+// TestQuantumSteadyStateZeroAllocTelemetry re-runs the guardrail with the
+// full metric set attached and the sampler ticking: pre-bound handles and
+// the preallocated ring must keep the instrumented loop allocation-free
+// too.
+func TestQuantumSteadyStateZeroAllocTelemetry(t *testing.T) {
+	testQuantumSteadyStateZeroAlloc(t, true)
+}
+
+func testQuantumSteadyStateZeroAlloc(t *testing.T, withTele bool) {
 	h := newSteadyStateHV(t, sched.KindCredit)
+	if withTele {
+		s := telemetry.NewSampler(telemetry.NewRegistry(), sim.Second)
+		xen.AttachTelemetry(h, s)
+		s.Start(h.Engine)
+	}
 	// Warm up past boot, first-touch windows, and buffer growth.
 	h.Run(2 * sim.Second)
 	next := sim.Time(2 * sim.Second)

@@ -87,6 +87,10 @@ type Hypervisor struct {
 	// tracing is free when off.
 	EventFn func(Event)
 
+	// Tele, when set (AttachTelemetry), is the pre-bound metric handle
+	// set. Hot paths guard on nil so telemetry-off runs pay one branch.
+	Tele *Telemetry
+
 	placeCursor int
 
 	// Reusable steal-path buffers (single-threaded per hypervisor, so one
@@ -539,6 +543,9 @@ func (h *Hypervisor) dispatch(p *PCPU, v *VCPU) {
 	if out.Used <= 0 {
 		out.Used = sim.Microsecond
 	}
+	if h.Tele != nil {
+		h.Tele.Dispatches.Inc()
+	}
 	if h.EventFn != nil {
 		// Guarded at the call site, not just inside emit: boxing the
 		// variadic args allocates before emit's own nil check runs, and
@@ -651,6 +658,9 @@ func (h *Hypervisor) endQuantum(p *PCPU) {
 	p.BusyTime += out.Used
 	p.Current = nil
 	p.lastVCPU = v
+	if h.Tele != nil {
+		h.Tele.QuantumUS.Observe(float64(out.Used))
+	}
 
 	finished := !v.App.Endless() && v.RemainingInstructions() <= 0.5
 	switch {

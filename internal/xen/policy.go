@@ -89,6 +89,9 @@ func (h *Hypervisor) CreditSteal(p *PCPU, anyPriority bool) *VCPU {
 					continue
 				}
 				q.Remove(v)
+				if h.Tele != nil {
+					h.Tele.NoteSteal(q.Node == p.Node)
+				}
 				return v
 			}
 		}
@@ -177,6 +180,9 @@ func (h *Hypervisor) NUMAAwareSteal(p *PCPU, underOnly, localOnly bool) *VCPU {
 	if !h.PCPUs[d.From].Remove(v) {
 		return nil
 	}
+	if h.Tele != nil {
+		h.Tele.NoteSteal(h.PCPUs[d.From].Node == p.Node)
+	}
 	return v
 }
 
@@ -207,6 +213,9 @@ func (h *Hypervisor) SampleAll(an *core.Analyzer) []core.Stat {
 		stats = append(stats, s)
 	}
 	h.statScratch = stats
+	if h.Tele != nil {
+		h.Tele.noteCensus(stats)
+	}
 	return stats
 }
 
@@ -216,6 +225,9 @@ func (h *Hypervisor) ApplyPartition(as []core.Assignment) {
 	cpm := h.Top.CyclesPerMicrosecond()
 	cost := h.Config.PartitionFixedMicros + h.Config.PartitionPerVCPUMicros*float64(len(as))
 	h.SampleOverhead += sim.Duration(cost)
+	if h.Tele != nil {
+		h.Tele.Reassignments.Add(float64(len(as)))
+	}
 	// The pass runs in hypervisor context on one PCPU; charge whoever is
 	// running there.
 	if len(h.PCPUs) > 0 && h.PCPUs[0].Current != nil {

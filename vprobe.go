@@ -115,6 +115,10 @@ type Config struct {
 	PageMigration bool
 	// Events receives structured scheduling events when non-nil.
 	Events EventSink
+	// Telemetry, when non-nil, collects metric time series from the run
+	// (see NewTelemetry). A collector serves exactly one simulator;
+	// reusing one fails with ErrTelemetryAttached.
+	Telemetry *Telemetry
 	// Trace receives formatted scheduling trace lines when non-nil.
 	//
 	// Deprecated: Trace is the old string-based hook; it is served by a
@@ -192,6 +196,12 @@ func NewSimulator(cfg Config) (*Simulator, error) {
 		trace = TraceAdapter(cfg.Trace)
 	}
 	h.EventFn = eventFanout(cfg.Events, trace)
+	if cfg.Telemetry != nil {
+		if err := cfg.Telemetry.attach(); err != nil {
+			return nil, err
+		}
+		xen.AttachTelemetry(h, cfg.Telemetry.sampler)
+	}
 	return &Simulator{h: h, cfg: cfg, idleFlags: make(map[*xen.Domain]bool)}, nil
 }
 
@@ -339,6 +349,12 @@ func (s *Simulator) run(ctx context.Context, horizon time.Duration, watchAll boo
 		}
 		if err := s.h.Start(); err != nil {
 			return nil, err
+		}
+		// The sampler starts after the policy tickers (Start armed them):
+		// at shared period boundaries the model updates first, so each
+		// snapshot sees a fresh census.
+		if s.cfg.Telemetry != nil {
+			s.cfg.Telemetry.sampler.Start(s.h.Engine)
 		}
 		s.started = true
 	}
