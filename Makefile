@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race smoke bench
+.PHONY: all build vet lint test race smoke smoke-serve bench
 
 all: build lint test
 
@@ -18,7 +18,8 @@ vet:
 	$(GO) vet ./...
 
 # lint = go vet + the determinism contract (mapiter, walltime, ctxflow,
-# eventswitch, errsentinel). `go run ./cmd/vprobe-vet -list` shows them.
+# eventswitch, errsentinel) and the deprecation fence (deprecated).
+# `go run ./cmd/vprobe-vet -list` shows them.
 lint: vet
 	$(GO) run ./cmd/vprobe-vet ./...
 
@@ -37,10 +38,16 @@ smoke:
 	$(GO) run ./cmd/vprobe-cluster -hosts 2 -horizon 30s -seed 1 -metrics /tmp/vprobe-cluster.prom
 	$(GO) run ./cmd/vprobe-metrics check /tmp/vprobe-cluster.prom
 
+# smoke-serve boots the vprobe-serve daemon and checks its contracts from
+# the outside: a re-POSTed spec answers from the cache byte-identically,
+# and both run and server metrics parse as Prometheus exposition.
+smoke-serve:
+	sh scripts/serve-smoke.sh
+
 # bench runs the hot-path micro-benchmarks and appends a snapshot (ns/op,
 # B/op, allocs/op per benchmark) to BENCH_hotpath.json. Override LABEL to
 # name the snapshot after the change being measured.
 LABEL ?= local
 bench:
-	$(GO) test -run '^$$' -bench 'QuantumHotPath|SimulationSecond|PerfExecute|PickSteal|^BenchmarkPartition$$' -benchtime 2s . \
+	$(GO) test -run '^$$' -bench 'QuantumHotPath|SimulationSecond|PerfExecute|PickSteal|^BenchmarkPartition$$|SpecCompile' -benchtime 2s . \
 		| $(GO) run ./cmd/vprobe-bench -label '$(LABEL)'

@@ -12,7 +12,10 @@ package vprobe_test
 
 import (
 	"context"
+	"encoding/json"
 	"testing"
+
+	"vprobe"
 
 	"vprobe/internal/core"
 	"vprobe/internal/experiments"
@@ -21,6 +24,7 @@ import (
 	"vprobe/internal/perf"
 	"vprobe/internal/sched"
 	"vprobe/internal/sim"
+	"vprobe/internal/spec"
 	"vprobe/internal/telemetry"
 	"vprobe/internal/workload"
 	"vprobe/internal/xen"
@@ -312,5 +316,36 @@ func BenchmarkSimulationSecond(b *testing.B) {
 			}
 		}
 		h.Run(sim.Second)
+	}
+}
+
+// BenchmarkSpecCompile measures the serve layer's request setup cost:
+// decoding a ScenarioV1 from JSON, validating it, and compiling it onto a
+// ready-to-run Simulator. This is pure front-door overhead — the
+// simulation itself never starts — so allocations here are per-request
+// daemon cost.
+func BenchmarkSpecCompile(b *testing.B) {
+	doc := []byte(`{
+	  "scheduler": "vprobe",
+	  "horizon": "30s",
+	  "vms": [
+	    {"name": "vm0", "memory_mb": 4096, "vcpus": 4,
+	     "apps": [{"name": "soplex"}, {"name": "mcf"}, {"server": "memcached", "load": 64}]},
+	    {"name": "vm1", "memory_mb": 2048, "vcpus": 2,
+	     "apps": [{"name": "milc"}, {"server": "redis", "load": 8}]}
+	  ]
+	}`)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var sp spec.ScenarioV1
+		if err := json.Unmarshal(doc, &sp); err != nil {
+			b.Fatal(err)
+		}
+		if err := sp.Validate(); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := vprobe.CompileScenario(sp, vprobe.CompileOptions{}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

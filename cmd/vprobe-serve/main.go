@@ -1,0 +1,70 @@
+// Command vprobe-serve runs the simulation-as-a-service daemon: a JSON
+// HTTP API over the versioned spec layer (internal/spec). Clients POST
+// serializable ScenarioV1 / ClusterV1 documents and get back reports,
+// JSONL event streams, and telemetry exports; completed runs are cached
+// by the spec's canonical hash, so identical requests are answered
+// byte-for-byte without re-simulating.
+//
+// Usage:
+//
+//	vprobe-serve [-addr host:port] [-concurrency n] [-run-timeout d]
+//	             [-max-body bytes]
+//
+// Quickstart:
+//
+//	vprobe-serve -addr :8080 &
+//	curl -s localhost:8080/v1/simulations -d '{"vms":[
+//	  {"name":"vm0","memory_mb":2048,"vcpus":2,"apps":[{"name":"soplex"}]}]}'
+//
+// SIGINT or SIGTERM stops the listener and aborts in-flight runs.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"vprobe/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	concurrency := flag.Int("concurrency", 0, "max simultaneous runs (0 = GOMAXPROCS)")
+	runTimeout := flag.Duration("run-timeout", 2*time.Minute, "wall-clock cap per run")
+	maxBody := flag.Int64("max-body", 1<<20, "request body cap in bytes")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "unexpected arguments: %v\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	api := serve.New(serve.Options{
+		MaxConcurrent: *concurrency,
+		RunTimeout:    *runTimeout,
+		MaxBodyBytes:  *maxBody,
+		BaseContext:   ctx,
+	})
+	srv := &http.Server{Addr: *addr, Handler: api.Handler()}
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(shutdownCtx)
+	}()
+
+	fmt.Fprintf(os.Stderr, "vprobe-serve listening on %s\n", *addr)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

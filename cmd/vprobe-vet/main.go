@@ -1,6 +1,6 @@
 // Command vprobe-vet is the repo's determinism-and-correctness linter: a
-// multichecker over the five custom analyzers that machine-check the
-// determinism contract (DESIGN.md §8). CI runs it next to go vet; locally,
+// multichecker over the six custom analyzers that machine-check the
+// determinism contract (DESIGN.md §8) and the deprecation fences (§11). CI runs it next to go vet; locally,
 // `make lint` does the same.
 //
 // Usage:
@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"vprobe/internal/analysis/ctxflow"
+	"vprobe/internal/analysis/deprecated"
 	"vprobe/internal/analysis/errsentinel"
 	"vprobe/internal/analysis/eventswitch"
 	"vprobe/internal/analysis/framework"
@@ -28,6 +29,7 @@ import (
 
 var analyzers = []*framework.Analyzer{
 	ctxflow.Analyzer,
+	deprecated.Analyzer,
 	errsentinel.Analyzer,
 	eventswitch.Analyzer,
 	mapiter.Analyzer,

@@ -1,6 +1,10 @@
 package vprobe
 
-import "errors"
+import (
+	"errors"
+
+	"vprobe/internal/spec"
+)
 
 // Sentinel errors returned (wrapped) by the public API, for callers to
 // match with errors.Is.
@@ -19,4 +23,18 @@ var (
 	// ErrTelemetryAttached: the Telemetry collector was already handed to
 	// another run; each collector records exactly one.
 	ErrTelemetryAttached = errors.New("vprobe: telemetry already attached to a run")
+	// ErrAlreadyRun: the Simulator (or internal cluster) value has already
+	// completed a run; simulation state is consumed by running, so a
+	// second Run on the same value would continue from — and corrupt —
+	// the first run's state. Build a fresh Simulator instead. The guard
+	// exists for pooled reuse under vprobe-serve, where recycling a used
+	// simulator must fail loudly rather than return wrong results.
+	ErrAlreadyRun = errors.New("vprobe: simulator already consumed by a run")
+
+	// ErrSpecVersion and ErrInvalidSpec re-export the spec layer's
+	// sentinels (internal/spec), so API callers can match validation
+	// failures from CompileScenario / CompileCluster without reaching
+	// into internal packages.
+	ErrSpecVersion = spec.ErrVersion
+	ErrInvalidSpec = spec.ErrInvalid
 )

@@ -1,0 +1,72 @@
+// Package deprecated fences off the root package's legacy surface: the
+// string-typed Config.Trace hook and the string-dispatch VM.RunServer
+// shim, both superseded by the spec layer (spec.AppV1 / vprobe.Compile*
+// and the typed Events sink). The shims stay for source compatibility,
+// but no in-repo caller may use them: this analyzer flags every use
+// outside the compat wiring itself, which carries `//vet:deprecated`
+// directives. Test files are never loaded, so the shims' own tests are
+// exempt by construction.
+package deprecated
+
+import (
+	"go/ast"
+	"go/types"
+
+	"vprobe/internal/analysis/framework"
+)
+
+// Analyzer is the deprecated-surface check.
+var Analyzer = &framework.Analyzer{
+	Name: "deprecated",
+	Doc: "forbid in-repo use of the deprecated Config.Trace and VM.RunServer " +
+		"shims (suppress with //vet:deprecated)",
+	Run: run,
+}
+
+// banned maps deprecated root-package symbols to their replacement hint.
+// Funcs are matched by name; fields additionally require *types.Var
+// field-hood — the names are unique within the vprobe package.
+var banned = map[string]struct {
+	field bool
+	hint  string
+}{
+	"RunServer": {false, "declare the server as spec.AppV1{Server: kind, Load: n} and compile the scenario"},
+	"Trace":     {true, "set Config.Events (vprobe.TraceAdapter bridges old string sinks)"},
+}
+
+func run(pass *framework.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			b, ok := banned[id.Name]
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[id]
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "vprobe" {
+				return true
+			}
+			switch o := obj.(type) {
+			case *types.Func:
+				if b.field {
+					return true
+				}
+			case *types.Var:
+				if !b.field || !o.IsField() {
+					return true
+				}
+			default:
+				return true
+			}
+			if !pass.Suppressed(id.Pos(), "deprecated") {
+				pass.Reportf(id.Pos(),
+					"vprobe.%s is deprecated; %s, or //vet:deprecated for the compat shims", id.Name, b.hint)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

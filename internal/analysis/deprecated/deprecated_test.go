@@ -1,0 +1,12 @@
+package deprecated_test
+
+import (
+	"testing"
+
+	"vprobe/internal/analysis/deprecated"
+	"vprobe/internal/analysis/framework/analysistest"
+)
+
+func TestDeprecated(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), deprecated.Analyzer, "deprecated_a")
+}

@@ -1,0 +1,48 @@
+// Package deprecated_a is the deprecated fixture: callers of the root
+// package's legacy surface.
+package deprecated_a
+
+import "vprobe"
+
+// Trace is a local type with a same-named field: not the vprobe shim,
+// never flagged.
+type Trace struct {
+	Trace string
+}
+
+// RunServer is a local function shadowing the shim name: not flagged.
+func RunServer() {}
+
+func useField(f func(string)) vprobe.Config {
+	var cfg vprobe.Config
+	cfg.Trace = f // want `vprobe.Trace is deprecated`
+	return vprobe.Config{
+		Trace: f, // want `vprobe.Trace is deprecated`
+	}
+}
+
+func useShim(vm *vprobe.VM) error {
+	if err := vm.RunServer("memcached", 8); err != nil { // want `vprobe.RunServer is deprecated`
+		return err
+	}
+	return vm.RunApp("soplex") // the supported path stays clean
+}
+
+func local() {
+	RunServer()
+	t := Trace{Trace: "mine"}
+	_ = t.Trace
+}
+
+func sanctioned(vm *vprobe.VM, f func(string)) {
+	var cfg vprobe.Config
+	cfg.Trace = f //vet:deprecated compat bridge keeps the old hook alive
+	//vet:deprecated exercising the shim on purpose
+	_ = vm.RunServer("redis", 2)
+	_ = cfg
+}
+
+// method value references are uses too.
+func methodValue(vm *vprobe.VM) func(string, int) error {
+	return vm.RunServer // want `vprobe.RunServer is deprecated`
+}

@@ -1,0 +1,23 @@
+// Package vprobe is a fixture stand-in for the real root package: just
+// enough surface for the deprecated analyzer to resolve the shims.
+package vprobe
+
+// Config mirrors the root Config's deprecated Trace hook next to the
+// typed replacement.
+type Config struct {
+	Events EventSink
+	// Trace is the deprecated string hook.
+	Trace func(string)
+}
+
+// EventSink mirrors the typed sink.
+type EventSink interface{ Emit(string) }
+
+// VM mirrors the root VM.
+type VM struct{}
+
+// RunServer is the deprecated string-dispatch shim.
+func (vm *VM) RunServer(kind string, load int) error { return nil }
+
+// RunApp is the supported path; same name shape, not banned.
+func (vm *VM) RunApp(name string) error { return nil }

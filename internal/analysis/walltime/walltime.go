@@ -5,9 +5,10 @@
 // virtual clock and randomness from the named-stream SplitMix64 RNG
 // (sim.NewRNG / RNG.Fork), which are stable across hosts and Go releases.
 //
-// Command-line front-ends (cmd/, examples/) and the experiment harness
-// (internal/harness), which legitimately measure real execution time for
-// progress reporting, are exempt by path. Individual lines are exempted
+// Command-line front-ends (cmd/, examples/), the experiment harness
+// (internal/harness), and the HTTP daemon layer (internal/serve), which
+// legitimately measure real execution time for progress reporting and
+// request timeouts, are exempt by path. Individual lines are exempted
 // with `//vet:wallclock <justification>`.
 package walltime
 
@@ -38,7 +39,8 @@ var bannedTime = map[string]bool{
 func exempt(path string) bool {
 	return strings.HasPrefix(path, "vprobe/cmd") ||
 		strings.HasPrefix(path, "vprobe/examples") ||
-		path == "vprobe/internal/harness"
+		path == "vprobe/internal/harness" ||
+		path == "vprobe/internal/serve"
 }
 
 func run(pass *framework.Pass) (any, error) {

@@ -20,6 +20,7 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"vprobe/internal/harness"
@@ -164,8 +165,13 @@ type Cluster struct {
 
 	ctx      context.Context
 	err      error // first host-advance failure; stops the run
+	ran      bool  // Run consumes the value; see ErrAlreadyRun
 	syncedTo sim.Time
 }
+
+// ErrAlreadyRun: Run was invoked twice on the same Cluster value. The
+// public vprobe.ErrAlreadyRun mirrors this guard for Simulator.
+var ErrAlreadyRun = errors.New("cluster: cluster already consumed by a run")
 
 // New validates the configuration and builds the hosts (each started with
 // zero domains — VMs arrive dynamically during Run).
@@ -204,6 +210,13 @@ func New(cfg Config) (*Cluster, error) {
 // Run drives the cluster to its horizon and returns the report. It may be
 // called once.
 func (c *Cluster) Run(ctx context.Context) (*Report, error) {
+	if c.ran {
+		return nil, fmt.Errorf("%w: build a fresh Cluster per run", ErrAlreadyRun)
+	}
+	// Running consumes the value: arrivals, host engines, and telemetry
+	// all advance monotonically, so a second Run would continue from —
+	// and corrupt — this run's state.
+	c.ran = true
 	c.ctx = ctx
 	if c.cfg.Telemetry != nil {
 		c.cfg.Telemetry.Start(c.engine)

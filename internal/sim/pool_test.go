@@ -57,7 +57,7 @@ func TestRecycledEventNeverFiresOldCallback(t *testing.T) {
 	e := NewEngine()
 	rng := NewRNG(42)
 
-	fires := make(map[int]int)     // schedule id -> times fired
+	fires := make(map[int]int) // schedule id -> times fired
 	cancelled := make(map[int]bool)
 	next := 0
 	var schedule func()

@@ -1,0 +1,35 @@
+// Compatibility path for the deprecated string-dispatched pieces of the
+// public API. The old surface survives only as thin adapters onto spec
+// types, so there is exactly one audited dispatch table and the deprecated
+// entry points cost nothing to delete when their grace period ends (both
+// are marked for removal in DESIGN.md §11):
+//
+//   - vprobe.VM.RunServer(kind, load) delegates its string dispatch to
+//     ServerApp below.
+//   - vprobe.Config.Trace is served by a formatting adapter over the typed
+//     Events sink (vprobe.TraceAdapter); specs never carry it — a trace
+//     callback cannot cross a process boundary, which is the point of this
+//     package.
+//
+// The vprobe-vet `deprecated` analyzer keeps the rest of the repository
+// off both: any production use outside the shims themselves fails lint.
+
+package spec
+
+import "fmt"
+
+// ServerApp converts the deprecated (kind, load) string form of a server
+// workload into its typed AppV1. It is the single surviving home of the
+// old RunServer dispatch table; unknown kinds wrap ErrInvalid.
+func ServerApp(kind string, load int) (AppV1, error) {
+	switch kind {
+	case "memcached", "redis":
+		app := AppV1{Server: kind, Load: load}
+		if err := app.validate("server"); err != nil {
+			return AppV1{}, err
+		}
+		return app, nil
+	default:
+		return AppV1{}, fmt.Errorf("%w: unknown server kind %q (have memcached, redis)", ErrInvalid, kind)
+	}
+}

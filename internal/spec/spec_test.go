@@ -1,0 +1,260 @@
+package spec_test
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"vprobe/internal/spec"
+)
+
+// TestScenarioNormalizeDefaults asserts every defaulted field becomes
+// explicit and normalization is idempotent.
+func TestScenarioNormalizeDefaults(t *testing.T) {
+	s := spec.ScenarioV1{VMs: []spec.VMV1{{Name: "vm", MemoryMB: 1024, VCPUs: 1}}}
+	n := s.Normalize()
+	if n.Version != spec.VersionV1 {
+		t.Errorf("Version = %q, want %q", n.Version, spec.VersionV1)
+	}
+	if n.Scheduler != "credit" || n.Topology != "xeon-e5620" || n.Seed != 1 {
+		t.Errorf("defaults = %q/%q/%d, want credit/xeon-e5620/1", n.Scheduler, n.Topology, n.Seed)
+	}
+	if n.Horizon.Std() != 30*time.Second || n.SamplePeriod.Std() != time.Second {
+		t.Errorf("horizon/sample = %v/%v", n.Horizon.Std(), n.SamplePeriod.Std())
+	}
+	if n.VMs[0].Memory != "fill" {
+		t.Errorf("vm memory = %q, want fill", n.VMs[0].Memory)
+	}
+	if again := n.Normalize(); !jsonEqual(t, again, n) {
+		t.Error("Normalize is not idempotent")
+	}
+	if s.VMs[0].Memory != "" {
+		t.Error("Normalize mutated its receiver's VM slice")
+	}
+}
+
+// TestClusterNormalizeDefaults covers the cluster form, including the
+// canonicalization of "rebalancing disabled".
+func TestClusterNormalizeDefaults(t *testing.T) {
+	n := spec.ClusterV1{}.Normalize()
+	if n.Hosts != 4 || n.Policy != "numa" || n.Mix != "mixed" || n.Seed != 1 {
+		t.Errorf("defaults = %d/%q/%q/%d", n.Hosts, n.Policy, n.Mix, n.Seed)
+	}
+	if n.ArrivalsPerSecond != 0.35 || n.MeanLifetime.Std() != 60*time.Second ||
+		n.Horizon.Std() != 300*time.Second || n.RebalancePeriod.Std() != 10*time.Second {
+		t.Errorf("rate/lifetime/horizon/rebalance = %v/%v/%v/%v",
+			n.ArrivalsPerSecond, n.MeanLifetime.Std(), n.Horizon.Std(), n.RebalancePeriod.Std())
+	}
+	a := spec.ClusterV1{RebalancePeriod: spec.Duration(-3 * time.Minute)}
+	b := spec.ClusterV1{RebalancePeriod: spec.Duration(-time.Millisecond)}
+	if a.Key() != b.Key() {
+		t.Error("two disabled-rebalance specs should share a canonical key")
+	}
+}
+
+// TestValidateErrors walks the validation failures and asserts each wraps
+// the right sentinel.
+func TestValidateErrors(t *testing.T) {
+	vm := spec.VMV1{Name: "vm", MemoryMB: 1024, VCPUs: 2}
+	cases := []struct {
+		name string
+		s    spec.ScenarioV1
+		want error
+	}{
+		{"version", spec.ScenarioV1{Version: "v9", VMs: []spec.VMV1{vm}}, spec.ErrVersion},
+		{"topology", spec.ScenarioV1{Topology: "toaster", VMs: []spec.VMV1{vm}}, spec.ErrInvalid},
+		{"scheduler", spec.ScenarioV1{Scheduler: "fifo", VMs: []spec.VMV1{vm}}, spec.ErrInvalid},
+		{"no vms", spec.ScenarioV1{}, spec.ErrInvalid},
+		{"negative horizon", spec.ScenarioV1{Horizon: spec.Duration(-time.Second), VMs: []spec.VMV1{vm}}, spec.ErrInvalid},
+		{"vm name", spec.ScenarioV1{VMs: []spec.VMV1{{MemoryMB: 1, VCPUs: 1}}}, spec.ErrInvalid},
+		{"dup vm", spec.ScenarioV1{VMs: []spec.VMV1{vm, vm}}, spec.ErrInvalid},
+		{"memory_mb", spec.ScenarioV1{VMs: []spec.VMV1{{Name: "x", VCPUs: 1}}}, spec.ErrInvalid},
+		{"memory policy", spec.ScenarioV1{VMs: []spec.VMV1{{Name: "x", MemoryMB: 1, VCPUs: 1, Memory: "shuffle"}}}, spec.ErrInvalid},
+		{"unknown app", spec.ScenarioV1{VMs: []spec.VMV1{{Name: "x", MemoryMB: 1, VCPUs: 1,
+			Apps: []spec.AppV1{{Name: "doom"}}}}}, spec.ErrInvalid},
+		{"both app forms", spec.ScenarioV1{VMs: []spec.VMV1{{Name: "x", MemoryMB: 1, VCPUs: 1,
+			Apps: []spec.AppV1{{Name: "soplex", Server: "redis", Load: 1}}}}}, spec.ErrInvalid},
+		{"server load", spec.ScenarioV1{VMs: []spec.VMV1{{Name: "x", MemoryMB: 1, VCPUs: 1,
+			Apps: []spec.AppV1{{Server: "redis"}}}}}, spec.ErrInvalid},
+		{"too many apps", spec.ScenarioV1{VMs: []spec.VMV1{{Name: "x", MemoryMB: 1, VCPUs: 1,
+			Apps: []spec.AppV1{{Name: "hungry"}, {Name: "hungry"}}}}}, spec.ErrInvalid},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.s.Validate()
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("Validate() = %v, want %v", err, tc.want)
+			}
+		})
+	}
+
+	good := spec.ScenarioV1{VMs: []spec.VMV1{{Name: "vm", MemoryMB: 2048, VCPUs: 2,
+		Apps: []spec.AppV1{{Name: "soplex"}, {Server: "memcached", Load: 64}}}}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid scenario rejected: %v", err)
+	}
+}
+
+// TestClusterValidateErrors covers the cluster-side failures.
+func TestClusterValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		c    spec.ClusterV1
+		want error
+	}{
+		{"version", spec.ClusterV1{Version: "v0"}, spec.ErrVersion},
+		{"hosts", spec.ClusterV1{Hosts: -1}, spec.ErrInvalid},
+		{"topology", spec.ClusterV1{Topology: "toaster"}, spec.ErrInvalid},
+		{"scheduler", spec.ClusterV1{Scheduler: "fifo"}, spec.ErrInvalid},
+		{"policy", spec.ClusterV1{Policy: "chaos"}, spec.ErrInvalid},
+		{"mix", spec.ClusterV1{Mix: "spicy"}, spec.ErrInvalid},
+		{"workers", spec.ClusterV1{Workers: -2}, spec.ErrInvalid},
+		{"lifetime", spec.ClusterV1{MeanLifetime: spec.Duration(-time.Second)}, spec.ErrInvalid},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.c.Validate(); !errors.Is(err, tc.want) {
+				t.Fatalf("Validate() = %v, want %v", err, tc.want)
+			}
+		})
+	}
+	if err := (spec.ClusterV1{}).Validate(); err != nil {
+		t.Fatalf("default cluster spec rejected: %v", err)
+	}
+}
+
+// TestJSONRoundTrip asserts encode→decode is lossless and that the
+// canonical key is stable across the trip and across default omission.
+func TestJSONRoundTrip(t *testing.T) {
+	s := spec.ScenarioV1{
+		Scheduler: "vprobe",
+		Seed:      7,
+		Horizon:   spec.Duration(1500 * time.Millisecond),
+		VMs: []spec.VMV1{
+			{Name: "a", MemoryMB: 4096, VCPUs: 2, Memory: "stripe",
+				Apps: []spec.AppV1{{Name: "soplex"}, {Server: "redis", Load: 4000}}},
+			{Name: "b", MemoryMB: 1024, VCPUs: 1, FillGuestIdle: true},
+		},
+	}
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"horizon":"1.5s"`) {
+		t.Fatalf("durations should marshal as Go strings, got %s", data)
+	}
+	var back spec.ScenarioV1
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !jsonEqual(t, back, s) {
+		t.Fatalf("round trip changed the spec:\n  in:  %+v\n  out: %+v", s, back)
+	}
+	if back.Key() != s.Key() {
+		t.Error("round trip changed the canonical key")
+	}
+	explicit := s.Normalize()
+	if explicit.Key() != s.Key() {
+		t.Error("spelling out defaults changed the canonical key")
+	}
+	if changed := s; true {
+		changed.Seed = 8
+		if changed.Key() == s.Key() {
+			t.Error("seed change did not change the key")
+		}
+	}
+}
+
+// TestClusterKeyIgnoresWorkers pins the cache contract: parallelism never
+// affects results, so it must not affect the key.
+func TestClusterKeyIgnoresWorkers(t *testing.T) {
+	base := spec.ClusterV1{Hosts: 2, Seed: 5}
+	w8 := base
+	w8.Workers = 8
+	if base.Key() != w8.Key() {
+		t.Error("Workers changed the cluster key")
+	}
+	other := base
+	other.Policy = "pack"
+	if other.Key() == base.Key() {
+		t.Error("policy change did not change the key")
+	}
+}
+
+// TestDurationJSON covers both accepted wire forms and the error path.
+func TestDurationJSON(t *testing.T) {
+	var d spec.Duration
+	if err := json.Unmarshal([]byte(`"2m30s"`), &d); err != nil || d.Std() != 150*time.Second {
+		t.Fatalf("string form: %v, %v", d.Std(), err)
+	}
+	if err := json.Unmarshal([]byte(`1.5`), &d); err != nil || d.Std() != 1500*time.Millisecond {
+		t.Fatalf("number form: %v, %v", d.Std(), err)
+	}
+	err := json.Unmarshal([]byte(`"fortnight"`), &d)
+	if !errors.Is(err, spec.ErrInvalid) {
+		t.Fatalf("bad duration error = %v, want ErrInvalid", err)
+	}
+}
+
+// TestServerAppCompat pins the deprecated string dispatch to its typed
+// equivalent.
+func TestServerAppCompat(t *testing.T) {
+	app, err := spec.ServerApp("memcached", 64)
+	if err != nil || app.Server != "memcached" || app.Load != 64 {
+		t.Fatalf("ServerApp = %+v, %v", app, err)
+	}
+	if _, err := spec.ServerApp("etcd", 1); !errors.Is(err, spec.ErrInvalid) {
+		t.Fatalf("unknown kind error = %v, want ErrInvalid", err)
+	}
+	if _, err := spec.ServerApp("redis", 0); !errors.Is(err, spec.ErrInvalid) {
+		t.Fatalf("zero load error = %v, want ErrInvalid", err)
+	}
+}
+
+// TestCatalogLists sanity-checks the advertised name lists against the
+// registries they mirror.
+func TestCatalogLists(t *testing.T) {
+	for _, want := range []string{"xeon-e5620", "four-node", "uma"} {
+		if !contains(spec.Topologies(), want) {
+			t.Errorf("Topologies() missing %q", want)
+		}
+	}
+	for _, want := range []string{"credit", "vprobe", "brm"} {
+		if !contains(spec.Schedulers(), want) {
+			t.Errorf("Schedulers() missing %q", want)
+		}
+	}
+	for _, want := range []string{"numa", "pack", "spread"} {
+		if !contains(spec.Policies(), want) {
+			t.Errorf("Policies() missing %q", want)
+		}
+	}
+	if !contains(spec.Apps(), "soplex") {
+		t.Error("Apps() missing soplex")
+	}
+}
+
+func contains(xs []string, want string) bool {
+	for _, x := range xs {
+		if x == want {
+			return true
+		}
+	}
+	return false
+}
+
+// jsonEqual compares two values by their canonical JSON.
+func jsonEqual(t *testing.T, a, b any) bool {
+	t.Helper()
+	da, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(da) == string(db)
+}

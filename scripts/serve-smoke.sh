@@ -1,0 +1,61 @@
+#!/bin/sh
+# serve-smoke.sh boots vprobe-serve, runs the same scenario twice, and
+# checks the daemon's core contracts from the outside:
+#
+#   1. the first POST completes with state "done";
+#   2. the re-POST is answered from the determinism-keyed cache, and the
+#      full response — report included — is byte-identical;
+#   3. the run's event stream and telemetry re-download byte-identically;
+#   4. the run's /metrics and the server's own /metrics parse as
+#      Prometheus text exposition (via vprobe-metrics check).
+#
+# Used by `make smoke-serve` and the CI "Serve API smoke" step.
+set -eu
+
+ADDR="${VPROBE_SERVE_ADDR:-127.0.0.1:18080}"
+TMP="$(mktemp -d)"
+trap 'kill $SERVE_PID 2>/dev/null || true; rm -rf "$TMP"' EXIT
+
+go build -o "$TMP/vprobe-serve" ./cmd/vprobe-serve
+"$TMP/vprobe-serve" -addr "$ADDR" &
+SERVE_PID=$!
+
+for _ in $(seq 1 100); do
+    if curl -sf "http://$ADDR/healthz" >/dev/null 2>&1; then break; fi
+    sleep 0.1
+done
+curl -sf "http://$ADDR/healthz" >/dev/null
+
+SPEC='{"scheduler":"vprobe","horizon":"2s","vms":[{"name":"vm0","memory_mb":2048,"vcpus":2,"apps":[{"name":"soplex"},{"name":"mcf"}]}]}'
+
+curl -sf -d "$SPEC" "http://$ADDR/v1/simulations" >"$TMP/run1.json"
+ID=$(jq -r .id "$TMP/run1.json")
+STATE=$(jq -r .state "$TMP/run1.json")
+[ "$STATE" = "done" ] || { echo "serve-smoke: first run state $STATE" >&2; exit 1; }
+
+curl -sf "http://$ADDR/v1/runs/$ID/events" >"$TMP/events1.jsonl"
+curl -sf "http://$ADDR/v1/runs/$ID/telemetry" >"$TMP/telemetry1.jsonl"
+curl -sf "http://$ADDR/v1/runs/$ID/metrics" >"$TMP/run.prom"
+
+curl -sf -d "$SPEC" "http://$ADDR/v1/simulations" >"$TMP/run2.json"
+jq -e '.cached == true' "$TMP/run2.json" >/dev/null || {
+    echo "serve-smoke: identical spec missed the cache" >&2; exit 1; }
+# Normalize both responses the same way (sorted keys, cached flag
+# dropped); the remainder — report text included — must match exactly.
+jq -S 'del(.cached)' "$TMP/run1.json" >"$TMP/run1-norm.json"
+jq -S 'del(.cached)' "$TMP/run2.json" >"$TMP/run2-norm.json"
+diff "$TMP/run1-norm.json" "$TMP/run2-norm.json" >/dev/null || {
+    echo "serve-smoke: cached response differs from the original" >&2; exit 1; }
+
+curl -sf "http://$ADDR/v1/runs/$ID/events" >"$TMP/events2.jsonl"
+curl -sf "http://$ADDR/v1/runs/$ID/telemetry" >"$TMP/telemetry2.jsonl"
+diff "$TMP/events1.jsonl" "$TMP/events2.jsonl" >/dev/null || {
+    echo "serve-smoke: event stream not byte-identical" >&2; exit 1; }
+diff "$TMP/telemetry1.jsonl" "$TMP/telemetry2.jsonl" >/dev/null || {
+    echo "serve-smoke: telemetry not byte-identical" >&2; exit 1; }
+
+go run ./cmd/vprobe-metrics check "$TMP/run.prom"
+curl -sf "http://$ADDR/metrics" >"$TMP/serve.prom"
+go run ./cmd/vprobe-metrics check "$TMP/serve.prom"
+
+echo "serve-smoke: OK (run $ID cached and byte-identical)"

@@ -55,6 +55,7 @@ import (
 	"vprobe/internal/numa"
 	"vprobe/internal/sched"
 	"vprobe/internal/sim"
+	"vprobe/internal/spec"
 	"vprobe/internal/workload"
 	"vprobe/internal/xen"
 )
@@ -151,11 +152,14 @@ type VMConfig struct {
 	FillGuestIdle bool
 }
 
-// Simulator is a configured virtual NUMA machine ready to host VMs.
+// Simulator is a configured virtual NUMA machine ready to host VMs. A
+// Simulator is single-use: running consumes it, and a second Run fails
+// with ErrAlreadyRun.
 type Simulator struct {
 	h         *xen.Hypervisor
 	cfg       Config
 	started   bool
+	ran       bool
 	idleFlags map[*xen.Domain]bool
 }
 
@@ -191,9 +195,12 @@ func NewSimulator(cfg Config) (*Simulator, error) {
 	if cfg.PageMigration {
 		h.Migrator = mem.DefaultMigrator()
 	}
+	// Compatibility path for the deprecated string Trace hook (see
+	// internal/spec/compat.go and DESIGN.md §11): the old callback is
+	// served by a formatting adapter over the typed event stream.
 	var trace EventSink
-	if cfg.Trace != nil {
-		trace = TraceAdapter(cfg.Trace)
+	if cfg.Trace != nil { //vet:deprecated compat wiring for the old hook
+		trace = TraceAdapter(cfg.Trace) //vet:deprecated compat wiring for the old hook
 	}
 	h.EventFn = eventFanout(cfg.Events, trace)
 	if cfg.Telemetry != nil {
@@ -272,19 +279,18 @@ func (vm *VM) RunRedis(connections int) error {
 }
 
 // RunServer starts a request-driven server profile ("memcached" with a
-// concurrency, "redis" with a connection count).
+// concurrency, "redis" with a connection count). The string dispatch lives
+// in the spec layer's compatibility path (spec.ServerApp), so this shim is
+// a two-line adapter with no logic of its own.
 //
 // Deprecated: the string dispatch survives for old callers only. Use the
 // typed RunMemcached or RunRedis instead.
 func (vm *VM) RunServer(kind string, load int) error {
-	switch kind {
-	case "memcached":
-		return vm.RunMemcached(load)
-	case "redis":
-		return vm.RunRedis(load)
-	default:
-		return fmt.Errorf("vprobe: unknown server kind %q", kind)
+	app, err := spec.ServerApp(kind, load)
+	if err != nil {
+		return fmt.Errorf("vprobe: %w", err)
 	}
+	return vm.runSpecApp(app)
 }
 
 // fillGuestIdle attaches housekeeping apps to remaining VCPUs.
@@ -335,6 +341,12 @@ func (s *Simulator) run(ctx context.Context, horizon time.Duration, watchAll boo
 	if horizon <= 0 {
 		return nil, fmt.Errorf("vprobe: non-positive horizon %v", horizon)
 	}
+	if s.ran {
+		return nil, fmt.Errorf("%w: build a fresh Simulator per run", ErrAlreadyRun)
+	}
+	// The value is consumed the moment the engine advances — even a
+	// cancelled run leaves state a re-run would silently corrupt.
+	s.ran = true
 	if !s.started {
 		for _, d := range s.h.Domains {
 			if vmCfgWantsIdle(s, d) {
