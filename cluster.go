@@ -65,6 +65,25 @@ type ClusterConfig struct {
 	// RebalancePeriod is the inter-host rebalancer tick (default 10s;
 	// negative disables rebalancing).
 	RebalancePeriod time.Duration
+	// Preempt lets arrivals above best-effort evict strictly-lower-priority
+	// VMs when no host fits; victims migrate when any host takes them and
+	// are otherwise killed and requeued (default off).
+	Preempt bool
+	// Gang admits multi-VM arrival groups all-or-nothing (default off).
+	Gang bool
+	// GangFraction is the fraction of arrivals that form gangs, in [0, 1].
+	// Gangs are drawn into the arrival stream whenever the fraction is
+	// positive — even with Gang off — so toggling the mechanism compares
+	// admission policies at equal load.
+	GangFraction float64
+	// GangSize is the number of VMs per gang (default 3).
+	GangSize int
+	// Backfill lets small lower-priority VMs jump the admission queue into
+	// fragmentation holes that cannot delay the blocked head (default off).
+	Backfill bool
+	// DeschedulePeriod is the defragmentation pass tick; zero disables the
+	// descheduler (the default).
+	DeschedulePeriod time.Duration
 	// Events receives cluster-scoped events (EventVMArrive ...
 	// EventMigrateDone) when non-nil. Event.Host and Event.VM carry the
 	// subjects; VCPU and Node are -1.
@@ -101,7 +120,36 @@ type ClusterReport struct {
 	RemoteRatio   float64
 	Utilization   float64
 
+	// Control-plane counters: Preemptions counts victims evicted for
+	// higher-priority arrivals (PreemptKills of them killed and requeued
+	// rather than migrated); GangsAdmitted counts all-or-nothing group
+	// admissions; Backfills counts queue-jump placements; DeschedMoves
+	// counts defragmentation migrations.
+	Preemptions   int
+	PreemptKills  int
+	GangsAdmitted int
+	Backfills     int
+	DeschedMoves  int
+
+	// PerPriority breaks admission down by priority class, ordered
+	// best-effort, standard, critical.
+	PerPriority []PriorityReport
+
 	text string
+}
+
+// PriorityReport is one priority class's admission summary.
+type PriorityReport struct {
+	// Class is the priority class name ("best-effort", "standard",
+	// "critical").
+	Class string
+	// Arrivals / Placed / Rejected count the class's VMs.
+	Arrivals int
+	Placed   int
+	Rejected int
+	// MeanWait is the mean arrival-to-first-placement wait of the class's
+	// placed VMs.
+	MeanWait time.Duration
 }
 
 // String renders the report as aligned tables.
@@ -139,6 +187,12 @@ func RunCluster(ctx context.Context, cfg ClusterConfig) (*ClusterReport, error) 
 		Workers:           cfg.Workers,
 		Mix:               cfg.Mix,
 		RebalancePeriod:   sim.Duration(cfg.RebalancePeriod.Microseconds()),
+		Preempt:           cfg.Preempt,
+		Gang:              cfg.Gang,
+		GangFraction:      cfg.GangFraction,
+		GangSize:          cfg.GangSize,
+		Backfill:          cfg.Backfill,
+		DeschedulePeriod:  sim.Duration(cfg.DeschedulePeriod.Microseconds()),
 	}
 	if cfg.RebalancePeriod < 0 {
 		ccfg.RebalancePeriod = -1
@@ -170,7 +224,7 @@ func RunCluster(ctx context.Context, cfg ClusterConfig) (*ClusterReport, error) 
 	if err != nil {
 		return nil, err
 	}
-	return &ClusterReport{
+	out := &ClusterReport{
 		Policy:        Policy(rep.Policy),
 		Scheduler:     Scheduler(rep.Scheduler),
 		Hosts:         rep.Hosts,
@@ -184,6 +238,21 @@ func RunCluster(ctx context.Context, cfg ClusterConfig) (*ClusterReport, error) 
 		RejectionRate: rep.RejectionRate,
 		RemoteRatio:   rep.RemoteRatio,
 		Utilization:   rep.Utilization,
+		Preemptions:   rep.Preemptions,
+		PreemptKills:  rep.PreemptKills,
+		GangsAdmitted: rep.GangsAdmitted,
+		Backfills:     rep.Backfills,
+		DeschedMoves:  rep.DeschedMoves,
 		text:          rep.String(),
-	}, nil
+	}
+	for _, p := range rep.PerPriority {
+		out.PerPriority = append(out.PerPriority, PriorityReport{
+			Class:    p.Class,
+			Arrivals: p.Arrivals,
+			Placed:   p.Placed,
+			Rejected: p.Rejected,
+			MeanWait: time.Duration(p.MeanWait) * time.Microsecond,
+		})
+	}
+	return out, nil
 }

@@ -9,6 +9,8 @@
 //	               [-policy name] [-seed n] [-rate f] [-lifetime d]
 //	               [-horizon d] [-workers n] [-mix name] [-rebalance d]
 //	               [-llc-limit f] [-remote-limit f] [-trace]
+//	               [-preempt] [-gang] [-gang-fraction f] [-gang-size n]
+//	               [-backfill] [-deschedule d]
 //	               [-metrics file.prom] [-metrics-every d]
 //
 // Durations are wall-style ("90s", "5m") and measured in simulated time.
@@ -47,6 +49,12 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel host-advance workers (0 = GOMAXPROCS)")
 	mix := flag.String("mix", "mixed", "workload mix: mixed, batch, server")
 	rebalance := flag.Duration("rebalance", 10*time.Second, "rebalancer period (negative disables)")
+	preempt := flag.Bool("preempt", false, "let high-priority arrivals evict lower-priority VMs")
+	gang := flag.Bool("gang", false, "admit gang arrivals all-or-nothing")
+	gangFraction := flag.Float64("gang-fraction", 0, "fraction of arrivals that form gangs [0,1]")
+	gangSize := flag.Int("gang-size", 3, "VMs per gang")
+	backfill := flag.Bool("backfill", false, "backfill small VMs past a blocked queue head")
+	deschedule := flag.Duration("deschedule", 0, "descheduler (defrag) period (0 disables)")
 	llcLimit := flag.Float64("llc-limit", 50, "per-socket LLC pressure migration threshold")
 	remoteLimit := flag.Float64("remote-limit", 0.45, "remote-access ratio migration threshold")
 	trace := flag.Bool("trace", false, "stream cluster events to stderr")
@@ -77,6 +85,12 @@ func main() {
 		Mix:               *mix,
 		LLCPressureLimit:  *llcLimit,
 		RemoteRatioLimit:  *remoteLimit,
+		Preempt:           *preempt,
+		Gang:              *gang,
+		GangFraction:      *gangFraction,
+		GangSize:          *gangSize,
+		Backfill:          *backfill,
+		DeschedulePeriod:  sim.Duration(deschedule.Microseconds()),
 	}
 	if *rebalance < 0 {
 		cfg.RebalancePeriod = -1

@@ -131,6 +131,12 @@ func CompileCluster(c spec.ClusterV1, opts CompileOptions) (ClusterConfig, error
 		Workers:           n.Workers,
 		Mix:               n.Mix,
 		RebalancePeriod:   n.RebalancePeriod.Std(),
+		Preempt:           n.Preempt,
+		Gang:              n.Gang,
+		GangFraction:      n.GangFraction,
+		GangSize:          n.GangSize,
+		Backfill:          n.Backfill,
+		DeschedulePeriod:  n.DeschedulePeriod.Std(),
 		Events:            opts.Events,
 		Telemetry:         opts.Telemetry,
 	}

@@ -254,6 +254,59 @@ func TestClusterRoundTripMixes(t *testing.T) {
 	}
 }
 
+// TestClusterRoundTripControlPlane pins the control-plane fields through
+// the spec path: a spec with every mechanism on runs byte-identical to the
+// hand-built ClusterConfig, and the new report fields come through.
+func TestClusterRoundTripControlPlane(t *testing.T) {
+	s := spec.ClusterV1{
+		Hosts:             2,
+		Seed:              5,
+		ArrivalsPerSecond: 0.8,
+		MeanLifetime:      spec.Duration(150 * time.Second),
+		Horizon:           spec.Duration(90 * time.Second),
+		Preempt:           true,
+		Gang:              true,
+		GangFraction:      0.2,
+		Backfill:          true,
+		DeschedulePeriod:  spec.Duration(15 * time.Second),
+	}
+	cfg, err := vprobe.CompileCluster(s, vprobe.CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specRep, err := vprobe.RunCluster(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := s.Normalize()
+	directRep, err := vprobe.RunCluster(context.Background(), vprobe.ClusterConfig{
+		Hosts: n.Hosts, Topology: vprobe.Topology(n.Topology),
+		Scheduler: vprobe.Scheduler(n.Scheduler), Policy: vprobe.Policy(n.Policy),
+		Seed: n.Seed, ArrivalsPerSecond: n.ArrivalsPerSecond,
+		MeanLifetime: n.MeanLifetime.Std(), Horizon: n.Horizon.Std(),
+		Mix: n.Mix, RebalancePeriod: n.RebalancePeriod.Std(),
+		Preempt: n.Preempt, Gang: n.Gang, GangFraction: n.GangFraction,
+		GangSize: n.GangSize, Backfill: n.Backfill,
+		DeschedulePeriod: n.DeschedulePeriod.Std(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if specRep.String() != directRep.String() {
+		t.Errorf("control-plane spec diverges:\n--- spec ---\n%s--- direct ---\n%s",
+			specRep.String(), directRep.String())
+	}
+	if len(specRep.PerPriority) != 3 {
+		t.Fatalf("PerPriority has %d classes, want 3", len(specRep.PerPriority))
+	}
+	if specRep.Preemptions != directRep.Preemptions ||
+		specRep.GangsAdmitted != directRep.GangsAdmitted ||
+		specRep.Backfills != directRep.Backfills ||
+		specRep.DeschedMoves != directRep.DeschedMoves {
+		t.Error("control-plane counters diverge between spec and direct runs")
+	}
+}
+
 // TestCompileValidationSentinels asserts compile failures surface the
 // public sentinels for errors.Is.
 func TestCompileValidationSentinels(t *testing.T) {

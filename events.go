@@ -44,6 +44,17 @@ const (
 	// EventMigrateStart / EventMigrateDone: inter-host live migration.
 	EventMigrateStart EventKind = EventKind(cluster.EventMigrateStart)
 	EventMigrateDone  EventKind = EventKind(cluster.EventMigrateDone)
+	// EventVMPreempted: a lower-priority VM was evicted (migrated or
+	// killed and requeued) to admit a higher-priority arrival.
+	EventVMPreempted EventKind = EventKind(cluster.EventVMPreempted)
+	// EventGangAdmitted: a VM group was placed all-or-nothing.
+	EventGangAdmitted EventKind = EventKind(cluster.EventGangAdmitted)
+	// EventBackfill: a small VM jumped the admission queue into a hole
+	// that could not delay the blocked head.
+	EventBackfill EventKind = EventKind(cluster.EventBackfill)
+	// EventDeschedule: the defragmentation pass drained a VM off an
+	// underloaded host.
+	EventDeschedule EventKind = EventKind(cluster.EventDeschedule)
 )
 
 // Event is one structured scheduling trace record. The typed fields carry

@@ -23,12 +23,14 @@ import (
 	"errors"
 	"fmt"
 
+	"vprobe/internal/controlplane"
 	"vprobe/internal/harness"
 	"vprobe/internal/mem"
 	"vprobe/internal/sched"
 	"vprobe/internal/sim"
 	"vprobe/internal/telemetry"
 	"vprobe/internal/workload"
+	"vprobe/internal/xen"
 )
 
 // Config parameterises a cluster run. Zero values select the defaults
@@ -80,6 +82,34 @@ type Config struct {
 	MigrationCooldown sim.Duration
 	// Overcommit is the VCPU overcommit factor per host (default 3.0).
 	Overcommit float64
+	// Preempt lets above-best-effort arrivals evict a minimal set of
+	// strictly-lower-priority VMs when no host fits them outright
+	// (default off). Victims are live-migrated when any other host fits
+	// them, else killed and requeued with their remaining lifetime.
+	Preempt bool
+	// Gang admits multi-VM groups all-or-nothing (default off). With Gang
+	// off, gang-generated members are admitted independently — the
+	// arrival stream is identical either way, which is what makes
+	// mechanism comparisons equal-load.
+	Gang bool
+	// GangFraction is the probability an arrival is a whole gang of
+	// GangSize VMs rather than a single VM (default 0: no gangs).
+	GangFraction float64
+	// GangSize is the number of VMs per generated gang (default 3).
+	GangSize int
+	// Backfill lets a strictly smaller, strictly lower-priority single VM
+	// jump the blocked admission queue into a fragmentation hole when the
+	// shadow-placement check proves the jump cannot delay the blocked
+	// head (default off).
+	Backfill bool
+	// DeschedulePeriod is the descheduler tick (default 0: disabled). Each
+	// tick may drain one near-empty host during low load, consolidating
+	// fragmented free memory.
+	DeschedulePeriod sim.Duration
+	// DescheduleUtilLimit gates the descheduler: it runs only while the
+	// cluster-wide VCPU commitment fraction is at or below this limit
+	// (default 0.4).
+	DescheduleUtilLimit float64
 	// Events, when set, receives cluster-scoped events.
 	Events func(Event)
 	// Telemetry, when set, collects the cluster's metric series:
@@ -140,6 +170,18 @@ func (c Config) normalized() Config {
 	if c.Overcommit <= 0 {
 		c.Overcommit = 3.0
 	}
+	if c.GangFraction < 0 {
+		c.GangFraction = 0
+	}
+	if c.GangFraction > 1 {
+		c.GangFraction = 1
+	}
+	if c.GangSize <= 0 {
+		c.GangSize = 3
+	}
+	if c.DescheduleUtilLimit <= 0 {
+		c.DescheduleUtilLimit = 0.4
+	}
 	return c
 }
 
@@ -154,14 +196,32 @@ type Cluster struct {
 	migrator *mem.Migrator
 	vms      []*VM
 
+	// queue is the admission queue of pending units (see controlplane.go);
+	// unitSeq numbers units in creation order for the final tiebreak.
+	// gangSeq numbers generated gangs: it advances with the generator, not
+	// the admission machinery, so group names are mechanism-independent.
+	queue   []*admitUnit
+	unitSeq int
+	gangSeq int
+	// tel is the telemetry handle set (nil when telemetry is off).
+	tel *clusterTelemetry
+
 	stats struct {
-		Arrivals   int
-		Placed     int
-		Retries    int
-		Rejected   int
-		Departed   int
-		Migrations int
+		Arrivals      int
+		Placed        int
+		Retries       int
+		Rejected      int
+		Departed      int
+		Migrations    int
+		Preemptions   int
+		PreemptKills  int
+		GangsAdmitted int
+		Backfills     int
+		DeschedMoves  int
 	}
+	// pstats tracks admission outcomes per priority class, indexed by
+	// controlplane.Priority.
+	pstats [3]priorityStats
 
 	ctx      context.Context
 	err      error // first host-advance failure; stops the run
@@ -226,6 +286,10 @@ func (c *Cluster) Run(ctx context.Context) (*Report, error) {
 		c.engine.Every(c.cfg.RebalancePeriod, c.cfg.RebalancePeriod, "rebalance",
 			func(*sim.Engine) { c.rebalance() })
 	}
+	if c.cfg.DeschedulePeriod > 0 {
+		c.engine.Every(c.cfg.DeschedulePeriod, c.cfg.DeschedulePeriod, "deschedule",
+			func(*sim.Engine) { c.deschedule() })
+	}
 	if _, err := c.engine.RunUntilContext(ctx, sim.Time(c.cfg.Horizon)); err != nil {
 		return nil, err
 	}
@@ -282,22 +346,86 @@ func (c *Cluster) scheduleNextArrival() {
 	})
 }
 
-// onArrival admits one new VM request.
+// onArrival admits one new request: a single VM, or — when GangFraction
+// rolls it — a whole gang sharing one priority class. Lifetimes are drawn
+// here, at arrival, so the offered load is byte-identical whatever the
+// admission mechanisms later do with each request.
 func (c *Cluster) onArrival() {
 	if !c.sync() {
 		return
 	}
-	spec := c.nextSpec()
-	vm := &VM{
-		ID:       len(c.vms),
-		Spec:     spec,
-		arriveAt: c.engine.Now(),
+	now := c.engine.Now()
+	members := 1
+	gang := false
+	if c.cfg.GangFraction > 0 && c.mixRNG.Float64() < c.cfg.GangFraction {
+		gang = true
+		members = c.cfg.GangSize
 	}
-	c.vms = append(c.vms, vm)
-	c.stats.Arrivals++
-	c.emit(EventVMArrive, nil, vm, "vm %s arrives: %d MB, %d vcpus",
-		spec.Name, spec.MemoryMB, spec.VCPUs)
-	c.tryPlace(vm)
+	prio := c.drawPriority()
+	group := ""
+	if gang {
+		group = fmt.Sprintf("g%03d", c.gangSeq)
+		c.gangSeq++
+	}
+	vms := make([]*VM, 0, members)
+	for i := 0; i < members; i++ {
+		spec := c.nextSpec()
+		spec.Priority = prio
+		spec.Group = group
+		vm := &VM{
+			ID:       len(c.vms),
+			Spec:     spec,
+			arriveAt: now,
+			life:     c.drawLife(),
+		}
+		c.vms = append(c.vms, vm)
+		vms = append(vms, vm)
+		c.stats.Arrivals++
+		c.pstats[prio].Arrivals++
+		c.emit(EventVMArrive, nil, vm, "vm %s arrives: %d MB, %d vcpus, %s%s",
+			spec.Name, spec.MemoryMB, spec.VCPUs, prio, gangTag(group))
+	}
+	if gang && c.cfg.Gang {
+		// One all-or-nothing unit.
+		c.enqueue(&admitUnit{id: c.unitSeq, vms: vms, gang: true,
+			priority: prio, arriveAt: now, nextTry: now})
+		c.unitSeq++
+	} else {
+		// Independent units (gang semantics off: members fend for
+		// themselves, same offered load).
+		for _, vm := range vms {
+			c.enqueue(&admitUnit{id: c.unitSeq, vms: []*VM{vm},
+				priority: prio, arriveAt: now, nextTry: now})
+			c.unitSeq++
+		}
+	}
+	c.drainQueue()
+}
+
+// gangTag renders the gang suffix of an arrival event.
+func gangTag(group string) string {
+	if group == "" {
+		return ""
+	}
+	return ", gang " + group
+}
+
+// priorityWeights is the class mix of generated arrivals: mostly standard,
+// a thick best-effort tail, and a critical head.
+var priorityWeights = []float64{0.35, 0.45, 0.20}
+
+// drawPriority picks the admission class of one arriving unit.
+func (c *Cluster) drawPriority() controlplane.Priority {
+	return controlplane.Priority(c.mixRNG.Pick(priorityWeights))
+}
+
+// drawLife draws one VM lifetime.
+func (c *Cluster) drawLife() sim.Duration {
+	life := sim.Duration(c.arrRNG.Exp(float64(c.cfg.MeanLifetime)))
+	if life < sim.Second {
+		life = sim.Second
+	}
+	return life
 }
 
 // sizeClasses are the VM shapes the generator draws from.
@@ -363,49 +491,15 @@ func (c *Cluster) drawProfile() *workload.Profile {
 	}
 }
 
-// tryPlace runs the placement pipeline for a pending VM, queueing a retry
-// with linear backoff on failure and rejecting after MaxRetries.
-func (c *Cluster) tryPlace(vm *VM) {
-	views := make([]*HostView, len(c.hosts))
-	for i, ho := range c.hosts {
-		views[i] = ho.view(c.cfg.Overcommit)
-	}
-	hv, plan, err := c.pipeline.Place(&vm.Spec, views)
-	if err != nil {
-		vm.retries++
-		if vm.retries > c.cfg.MaxRetries {
-			vm.state = stateRejected
-			c.stats.Rejected++
-			c.emit(EventVMReject, nil, vm, "vm %s rejected after %d attempts: %v",
-				vm.Spec.Name, vm.retries, err)
-			return
-		}
-		c.stats.Retries++
-		backoff := c.cfg.RetryBackoff * sim.Duration(vm.retries)
-		c.emit(EventVMRetry, nil, vm, "vm %s queued (attempt %d, retry in %v): %v",
-			vm.Spec.Name, vm.retries, backoff, err)
-		c.engine.Schedule(backoff, "retry", func(*sim.Engine) {
-			if vm.state != statePending || !c.sync() {
-				return
-			}
-			c.tryPlace(vm)
-		})
-		return
-	}
-	c.placeOn(vm, c.hosts[hv.Index], plan)
-}
-
-// placeOn builds, binds, and activates the VM's domain on a host, and
-// schedules the VM's departure at first placement.
-func (c *Cluster) placeOn(vm *VM, ho *Host, plan MemPlan) {
+// admitDomain builds, binds, and activates the VM's domain on a host. An
+// AddDomain failure is returned to the caller — reserve-phase arithmetic
+// is an estimate and may lag the allocator — while attach and activate
+// failures are accounting bugs and stop the run.
+func (c *Cluster) admitDomain(vm *VM, ho *Host, plan MemPlan) (*xen.Domain, error) {
 	dom, err := ho.H.AddDomain(vm.Spec.Name, vm.Spec.MemoryMB, vm.Spec.VCPUs,
 		plan.Policy, plan.Preferred)
 	if err != nil {
-		// The filter saw enough total free memory; an allocator-level
-		// failure is a pipeline/accounting bug worth surfacing loudly.
-		c.err = fmt.Errorf("cluster: place %s on %s: %w", vm.Spec.Name, ho.Name, err)
-		c.engine.Stop()
-		return
+		return nil, err
 	}
 	for i, p := range vm.Spec.Profiles {
 		if p == nil {
@@ -414,14 +508,36 @@ func (c *Cluster) placeOn(vm *VM, ho *Host, plan MemPlan) {
 		if _, err := ho.H.AttachApp(dom, i, p.Clone()); err != nil {
 			c.err = fmt.Errorf("cluster: attach on %s: %w", ho.Name, err)
 			c.engine.Stop()
-			return
+			return nil, err
 		}
 	}
 	if err := ho.H.ActivateDomain(dom); err != nil {
 		c.err = fmt.Errorf("cluster: activate on %s: %w", ho.Name, err)
 		c.engine.Stop()
+		return nil, err
+	}
+	return dom, nil
+}
+
+// placeOn admits a VM whose host the pipeline approved against live views,
+// so an allocator-level failure here is a pipeline/accounting bug worth
+// surfacing loudly.
+func (c *Cluster) placeOn(vm *VM, ho *Host, plan MemPlan, attempt int) {
+	dom, err := c.admitDomain(vm, ho, plan)
+	if err != nil {
+		if c.err == nil {
+			c.err = fmt.Errorf("cluster: place %s on %s: %w", vm.Spec.Name, ho.Name, err)
+			c.engine.Stop()
+		}
 		return
 	}
+	c.finalizePlacement(vm, ho, dom, plan, attempt)
+}
+
+// finalizePlacement records a successful placement: VM state, per-class
+// wait statistics (first admission only), the place event, and the
+// departure timer armed with the lifetime drawn at arrival.
+func (c *Cluster) finalizePlacement(vm *VM, ho *Host, dom *xen.Domain, plan MemPlan, attempt int) {
 	vm.Host = ho
 	vm.dom = dom
 	vm.state = stateRunning
@@ -429,16 +545,31 @@ func (c *Cluster) placeOn(vm *VM, ho *Host, plan MemPlan) {
 	ho.VMs = append(ho.VMs, vm)
 	ho.Placed++
 	c.stats.Placed++
+	if !vm.admitted {
+		vm.admitted = true
+		wait := c.engine.Now().Sub(vm.arriveAt)
+		ps := &c.pstats[vm.Spec.Priority]
+		ps.Placed++
+		ps.WaitTotal += wait
+		if c.tel != nil {
+			c.tel.waitHist[vm.Spec.Priority].Observe(wait.Seconds())
+		}
+	}
 	c.emit(EventVMPlace, ho, vm,
-		"vm %s placed on %s (%s memory, attempt %d)",
-		vm.Spec.Name, ho.Name, plan.Policy, vm.retries+1)
+		"vm %s placed on %s (%s memory, %s, attempt %d)",
+		vm.Spec.Name, ho.Name, plan.Policy, vm.Spec.Priority, attempt)
 	if vm.departAt == 0 {
-		life := sim.Duration(c.arrRNG.Exp(float64(c.cfg.MeanLifetime)))
+		life := vm.life
 		if life < sim.Second {
 			life = sim.Second
 		}
 		vm.departAt = c.engine.Now().Add(life)
-		c.engine.Schedule(life, "depart", func(*sim.Engine) { c.onDepart(vm) })
+		seq := vm.departSeq
+		c.engine.Schedule(life, "depart", func(*sim.Engine) {
+			if vm.departSeq == seq {
+				c.onDepart(vm)
+			}
+		})
 	}
 }
 
@@ -464,6 +595,8 @@ func (c *Cluster) onDepart(vm *VM) {
 	c.stats.Departed++
 	c.emit(EventVMDepart, vm.Host, vm, "vm %s departs %s after %v",
 		vm.Spec.Name, vm.Host.Name, c.engine.Now().Sub(vm.arriveAt))
+	// The teardown freed capacity; give the queue a shot at it.
+	c.drainQueue()
 }
 
 // rebalance scans for overloaded hosts and migrates at most one VM off

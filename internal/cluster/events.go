@@ -28,6 +28,19 @@ const (
 	// EventMigrateDone: the inter-host migration completed and the VM
 	// resumed on its new host.
 	EventMigrateDone EventKind = "migrate-done"
+	// EventVMPreempted: a lower-priority VM was evicted (migrated away or
+	// killed and requeued) to admit a higher-priority arrival.
+	EventVMPreempted EventKind = "vm-preempt"
+	// EventGangAdmitted: every member of a VM group was placed in one
+	// all-or-nothing commit.
+	EventGangAdmitted EventKind = "gang-admit"
+	// EventBackfill: a small low-priority VM jumped the admission queue
+	// into a fragmentation hole after the shadow-placement check proved
+	// the jump cannot delay the blocked queue head.
+	EventBackfill EventKind = "vm-backfill"
+	// EventDeschedule: the descheduler moved a VM off a near-empty host
+	// during low load to defragment the cluster.
+	EventDeschedule EventKind = "deschedule"
 )
 
 // Event is one structured cluster-level record. Host and VM carry the

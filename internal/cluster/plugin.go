@@ -125,6 +125,13 @@ func (pl *Pipeline) Place(spec *VMSpec, views []*HostView) (*HostView, MemPlan, 
 			reasons = append(reasons, fmt.Sprintf("%s: %s: %s", v.host, v.plugin, v.reason))
 		}
 		sort.Strings(reasons)
+		// Cap the rendered reasons: on big clusters an every-host veto
+		// would otherwise put hundreds of lines into one error string.
+		// Sorting first keeps the surviving prefix deterministic.
+		const maxReasons = 8
+		if extra := len(reasons) - maxReasons; extra > 0 {
+			reasons = append(reasons[:maxReasons], fmt.Sprintf("… and %d more", extra))
+		}
 		return nil, MemPlan{}, fmt.Errorf("%w for %s (%d MB, %d vcpus): %v",
 			ErrNoHostFits, spec.Name, spec.MemoryMB, spec.VCPUs, reasons)
 	}
@@ -245,6 +252,12 @@ func (NUMAFitScore) Name() string { return "numa-fit" }
 func (NUMAFitScore) Score(spec *VMSpec, hv *HostView) float64 {
 	_, bestFree := hv.bestNode()
 	if bestFree >= spec.MemoryMB {
+		if bestFree == 0 {
+			// A zero-memory spec "fits" a full node; without this guard
+			// the headroom below is 0/0 and the score goes NaN, poisoning
+			// every weighted sum it joins.
+			return 60
+		}
 		headroom := float64(bestFree-spec.MemoryMB) / float64(bestFree)
 		return 60 + 40*headroom
 	}

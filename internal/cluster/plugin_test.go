@@ -147,6 +147,87 @@ func TestPipelineNoHostFits(t *testing.T) {
 	}
 }
 
+// TestNUMAFitScoreZeroMemory is the NaN regression: a zero-memory spec on
+// a host whose best node has zero free memory used to compute 0/0.
+func TestNUMAFitScoreZeroMemory(t *testing.T) {
+	spec := &VMSpec{Name: "vm", MemoryMB: 0, VCPUs: 1}
+	drained := view(0, []int64{0, 0}, 24576, 0, 24)
+	got := (NUMAFitScore{}).Score(spec, drained)
+	if got != got { // NaN is the one value that != itself
+		t.Fatal("zero-memory spec on a drained host scores NaN")
+	}
+	if got != 60 {
+		t.Fatalf("zero-memory fit on a drained host scores %v, want 60", got)
+	}
+	// And the guard must not change scores where bestFree > 0.
+	roomy := view(1, []int64{4096, 1024}, 24576, 0, 24)
+	if got := (NUMAFitScore{}).Score(spec, roomy); got != 100 {
+		t.Fatalf("zero-memory spec with full headroom scores %v, want 100", got)
+	}
+}
+
+// TestPipelineVetoCap checks the every-host-filtered error path at scale:
+// reasons come out sorted and capped at 8 with a "… and N more" tail.
+func TestPipelineVetoCap(t *testing.T) {
+	pl := &Pipeline{Name: "flat", Filters: []FilterPlugin{CapacityFilter{}}}
+	spec := &VMSpec{Name: "vm", MemoryMB: 64 * 1024, VCPUs: 2}
+	var views []*HostView
+	for i := 0; i < 12; i++ {
+		views = append(views, view(i, []int64{1024, 1024}, 24576, 0, 24))
+	}
+	_, _, err := pl.Place(spec, views)
+	if !errors.Is(err, ErrNoHostFits) {
+		t.Fatalf("err = %v, want ErrNoHostFits", err)
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "… and 4 more") {
+		t.Fatalf("12 vetoes not capped at 8: %v", msg)
+	}
+	if got := strings.Count(msg, "capacity:"); got != 8 {
+		t.Fatalf("%d rendered reasons, want 8: %v", got, msg)
+	}
+	// Sorted: host0 and host1 survive the cap, and in order.
+	if !strings.Contains(msg, "host0") || strings.Index(msg, "host0") > strings.Index(msg, "host1") {
+		t.Fatalf("capped reasons not sorted: %v", msg)
+	}
+
+	// At or under the cap no tail is rendered.
+	_, _, err = pl.Place(spec, views[:8])
+	if err == nil || strings.Contains(err.Error(), "more") {
+		t.Fatalf("8 vetoes should render uncapped: %v", err)
+	}
+}
+
+// TestNUMAFitFilterSplitEdges pins the MaxSplit edge cases: a split wider
+// than the host degrades to summing every node, and a non-positive split
+// normalizes to 1.
+func TestNUMAFitFilterSplitEdges(t *testing.T) {
+	hv := view(0, []int64{2000, 2000, 2000, 2000}, 65536, 0, 48)
+	spec := &VMSpec{Name: "vm", MemoryMB: 8000, VCPUs: 4}
+
+	// MaxSplit 16 on a 4-node host: all 8000 MB are available.
+	if err := (NUMAFitFilter{MaxSplit: 16}).Filter(spec, hv); err != nil {
+		t.Fatalf("split wider than the host should sum all nodes: %v", err)
+	}
+	if err := (NUMAFitFilter{MaxSplit: 16}).Filter(
+		&VMSpec{Name: "vm", MemoryMB: 8001, VCPUs: 4}, hv); err == nil {
+		t.Fatal("8001 MB admitted against 8000 MB of total free")
+	}
+
+	// MaxSplit <= 0 normalizes to 1: only the best node counts.
+	small := &VMSpec{Name: "vm", MemoryMB: 2000, VCPUs: 2}
+	big := &VMSpec{Name: "vm", MemoryMB: 2001, VCPUs: 2}
+	for _, split := range []int{0, -3} {
+		f := NUMAFitFilter{MaxSplit: split}
+		if err := f.Filter(small, hv); err != nil {
+			t.Fatalf("MaxSplit=%d should admit a single-node fit: %v", split, err)
+		}
+		if err := f.Filter(big, hv); err == nil {
+			t.Fatalf("MaxSplit=%d admitted a VM larger than any node", split)
+		}
+	}
+}
+
 func TestPolicyRegistry(t *testing.T) {
 	names := Policies()
 	if len(names) < 3 {

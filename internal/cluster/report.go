@@ -4,9 +4,18 @@ import (
 	"fmt"
 	"strings"
 
+	"vprobe/internal/controlplane"
 	"vprobe/internal/metrics"
 	"vprobe/internal/sim"
 )
+
+// priorityStats accumulates admission outcomes for one priority class.
+type priorityStats struct {
+	Arrivals  int
+	Placed    int
+	Rejected  int
+	WaitTotal sim.Duration // arrival-to-first-placement, summed over Placed
+}
 
 // Report summarises one cluster run: admission outcomes, migration
 // activity, and placement quality (remote-access ratio, utilization),
@@ -24,6 +33,16 @@ type Report struct {
 	Departed   int
 	Migrations int
 
+	// Control-plane activity: preemption victims evicted (PreemptKills of
+	// them killed and requeued rather than migrated), gangs admitted
+	// all-or-nothing, queue jumps through backfill, and descheduler
+	// defragmentation moves.
+	Preemptions   int
+	PreemptKills  int
+	GangsAdmitted int
+	Backfills     int
+	DeschedMoves  int
+
 	// RejectionRate is Rejected/Arrivals.
 	RejectionRate float64
 	// RemoteRatio is the access-weighted remote-memory-access ratio over
@@ -33,6 +52,19 @@ type Report struct {
 	Utilization float64
 
 	PerHost []HostReport
+	// PerPriority is one row per admission class, best-effort first.
+	PerPriority []PriorityReport
+}
+
+// PriorityReport is one admission class's slice of the run.
+type PriorityReport struct {
+	Class    string
+	Arrivals int
+	Placed   int
+	Rejected int
+	// MeanWait is the mean arrival-to-first-placement latency of the
+	// class's placed VMs.
+	MeanWait sim.Duration
 }
 
 // HostReport is one host's slice of the run.
@@ -60,6 +92,25 @@ func (c *Cluster) report() *Report {
 		Rejected:   c.stats.Rejected,
 		Departed:   c.stats.Departed,
 		Migrations: c.stats.Migrations,
+
+		Preemptions:   c.stats.Preemptions,
+		PreemptKills:  c.stats.PreemptKills,
+		GangsAdmitted: c.stats.GangsAdmitted,
+		Backfills:     c.stats.Backfills,
+		DeschedMoves:  c.stats.DeschedMoves,
+	}
+	for _, p := range controlplane.Priorities() {
+		ps := c.pstats[p]
+		pr := PriorityReport{
+			Class:    p.String(),
+			Arrivals: ps.Arrivals,
+			Placed:   ps.Placed,
+			Rejected: ps.Rejected,
+		}
+		if ps.Placed > 0 {
+			pr.MeanWait = ps.WaitTotal / sim.Duration(ps.Placed)
+		}
+		r.PerPriority = append(r.PerPriority, pr)
 	}
 	if r.Arrivals > 0 {
 		r.RejectionRate = float64(r.Rejected) / float64(r.Arrivals)
@@ -109,6 +160,21 @@ func (r *Report) String() string {
 		metrics.Pct(r.RejectionRate), metrics.Pct(r.RemoteRatio),
 		metrics.Pct(r.Utilization))
 	b.WriteString(sum.String())
+
+	cp := metrics.NewTable("control plane",
+		"preemptions", "preempt-kills", "gangs", "backfills", "desched-moves")
+	cp.AddRow(fmt.Sprint(r.Preemptions), fmt.Sprint(r.PreemptKills),
+		fmt.Sprint(r.GangsAdmitted), fmt.Sprint(r.Backfills),
+		fmt.Sprint(r.DeschedMoves))
+	b.WriteString(cp.String())
+
+	pp := metrics.NewTable("per priority class", "class", "arrivals",
+		"placed", "rejected", "mean-wait")
+	for _, p := range r.PerPriority {
+		pp.AddRow(p.Class, fmt.Sprint(p.Arrivals), fmt.Sprint(p.Placed),
+			fmt.Sprint(p.Rejected), p.MeanWait.String())
+	}
+	b.WriteString(pp.String())
 
 	ph := metrics.NewTable("per host", "host", "placed", "resident",
 		"remote-ratio", "utilization")

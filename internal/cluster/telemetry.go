@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"vprobe/internal/controlplane"
 	"vprobe/internal/numa"
 	"vprobe/internal/telemetry"
 	"vprobe/internal/xen"
@@ -28,6 +29,19 @@ type clusterTelemetry struct {
 	// a migration blackout.
 	pending  *telemetry.Gauge
 	inFlight *telemetry.Gauge
+
+	// Control-plane activity, mirroring the preemption, gang, backfill,
+	// and descheduler counters.
+	preemptions  *telemetry.Gauge
+	preemptKills *telemetry.Gauge
+	gangs        *telemetry.Gauge
+	backfills    *telemetry.Gauge
+	deschedMoves *telemetry.Gauge
+
+	// waitHist records arrival-to-first-placement latency per priority
+	// class, observed at admission time (not sampled), indexed by
+	// controlplane.Priority.
+	waitHist [3]*telemetry.Histogram
 
 	// Per-host load, indexed like Cluster.hosts.
 	hostVMs      []*telemetry.Gauge
@@ -62,7 +76,24 @@ func (c *Cluster) attachTelemetry(s *telemetry.Sampler) {
 			"Arrived VMs awaiting placement (including retry backoff)."),
 		inFlight: reg.Gauge("cluster_migrations_in_flight",
 			"VMs currently in a migration copy blackout."),
+		preemptions: reg.Gauge("cluster_vm_preemptions",
+			"Lower-priority VMs evicted to admit higher-priority arrivals."),
+		preemptKills: reg.Gauge("cluster_vm_preempt_kills",
+			"Preemption victims killed and requeued (no host fit them)."),
+		gangs: reg.Gauge("cluster_gangs_admitted",
+			"VM groups placed all-or-nothing."),
+		backfills: reg.Gauge("cluster_vm_backfills",
+			"VMs that jumped the blocked admission queue into a hole."),
+		deschedMoves: reg.Gauge("cluster_deschedule_moves",
+			"Defragmentation migrations made by the descheduler."),
 	}
+	waitBounds := []float64{0.5, 1, 2, 5, 10, 20, 40, 80, 160}
+	for _, p := range controlplane.Priorities() {
+		t.waitHist[p] = reg.Histogram("cluster_admission_wait_seconds",
+			"Arrival-to-first-placement latency by priority class.",
+			waitBounds, telemetry.Label{Key: "priority", Value: p.String()})
+	}
+	c.tel = t
 	s.OnSample(t.sample)
 	for _, ho := range c.hosts {
 		label := telemetry.Label{Key: "host", Value: ho.Name}
@@ -94,6 +125,11 @@ func (t *clusterTelemetry) sample() {
 	t.rejected.Set(float64(c.stats.Rejected))
 	t.departed.Set(float64(c.stats.Departed))
 	t.migrations.Set(float64(c.stats.Migrations))
+	t.preemptions.Set(float64(c.stats.Preemptions))
+	t.preemptKills.Set(float64(c.stats.PreemptKills))
+	t.gangs.Set(float64(c.stats.GangsAdmitted))
+	t.backfills.Set(float64(c.stats.Backfills))
+	t.deschedMoves.Set(float64(c.stats.DeschedMoves))
 
 	pending, inFlight := 0, 0
 	for _, vm := range c.vms {

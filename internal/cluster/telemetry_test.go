@@ -18,7 +18,7 @@ func telemetryCfg() Config {
 	return Config{
 		Hosts:             3,
 		Horizon:           150 * sim.Second,
-		Seed:              5,
+		Seed:              11,
 		ArrivalsPerSecond: 0.8,
 		MeanLifetime:      100 * sim.Second,
 		Mix:               "batch",

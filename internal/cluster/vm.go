@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"vprobe/internal/controlplane"
 	"vprobe/internal/sim"
 	"vprobe/internal/workload"
 	"vprobe/internal/xen"
@@ -14,6 +15,15 @@ type VMSpec struct {
 	MemoryMB int64
 	VCPUs    int
 	Profiles []*workload.Profile
+
+	// Priority is the VM's admission class: higher classes sort first in
+	// the admission queue and, when preemption is enabled, may evict
+	// strictly lower classes. The zero value is BestEffort.
+	Priority controlplane.Priority
+	// Group names the VM's gang ("" for singletons): members of one group
+	// arrive together and, when gang admission is enabled, are placed
+	// all-or-nothing.
+	Group string
 }
 
 // vmState is the cluster-side lifecycle of a VM.
@@ -43,11 +53,23 @@ type VM struct {
 	dom  *xen.Domain
 
 	state      vmState
-	retries    int
 	arriveAt   sim.Time
-	departAt   sim.Time // 0 until the first successful placement
+	departAt   sim.Time // 0 while unplaced (including after a preemption kill)
 	placedAt   sim.Time // last (re)placement time, for migration cooldown
 	Migrations int
+
+	// life is the lifetime still owed: drawn at arrival (so the arrival
+	// stream is identical whatever the admission mechanisms do with it)
+	// and rewritten to the remaining balance when a preemption kill
+	// returns the VM to the queue.
+	life sim.Duration
+	// departSeq invalidates scheduled departure timers: a preemption kill
+	// bumps it, so the timer armed at the previous placement fires as a
+	// no-op and a fresh one is armed at re-placement.
+	departSeq int
+	// admitted marks that the first placement already happened, so wait
+	// statistics are recorded once per VM, not once per re-placement.
+	admitted bool
 }
 
 // migrationProfiles snapshots the remaining work of the VM's current

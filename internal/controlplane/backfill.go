@@ -1,0 +1,114 @@
+package controlplane
+
+import (
+	"sort"
+
+	"vprobe/internal/sim"
+)
+
+// Departure is one known future capacity release: VM lifetimes are drawn
+// at admission, so every resident's departure time — and the memory it
+// hands back per node — is part of the deterministic record the backfill
+// planner may consult.
+type Departure struct {
+	At             sim.Time
+	HostIndex      int
+	ID             int
+	FreesPerNodeMB []int64
+	VCPUs          int
+}
+
+// Placement is a hypothetical residency charged against one host: what a
+// backfill candidate would take if admitted now.
+type Placement struct {
+	HostIndex    int
+	TakesPerNode []int64
+	VCPUs        int
+}
+
+// Reservation is the shadow placement of a blocked request: the earliest
+// (time, host) at which the request fits given the known departure
+// schedule. Found is false when it fits nowhere even after every known
+// departure.
+type Reservation struct {
+	Found     bool
+	HostIndex int
+	At        sim.Time
+}
+
+// ShadowReservation computes the blocked request's earliest feasible
+// (time, host) by replaying each host's departure schedule in time order
+// and testing the fit after each release. extra, when non-nil, charges a
+// hypothetical backfill placement against its host first — the "would the
+// head still start on time?" probe. Ties break to the earlier time, then
+// the lower host index.
+func ShadowReservation(req Request, hosts []*HostCap, deps []Departure, fits FitFunc, extra *Placement) Reservation {
+	ordered := append([]Departure(nil), deps...)
+	sort.Slice(ordered, func(i, j int) bool {
+		a, b := ordered[i], ordered[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if a.HostIndex != b.HostIndex {
+			return a.HostIndex < b.HostIndex
+		}
+		return a.ID < b.ID
+	})
+
+	var best Reservation
+	for _, host := range hosts {
+		what := host.clone()
+		if extra != nil && extra.HostIndex == host.Index {
+			for i, take := range extra.TakesPerNode {
+				if i < len(what.FreePerNodeMB) {
+					what.FreePerNodeMB[i] -= take
+				}
+			}
+			what.GuestVCPUs += extra.VCPUs
+		}
+		at, ok := sim.Time(0), fits(req, &what)
+		if !ok {
+			for _, d := range ordered {
+				if d.HostIndex != host.Index {
+					continue
+				}
+				addTo(what.FreePerNodeMB, d.FreesPerNodeMB)
+				what.GuestVCPUs -= d.VCPUs
+				if fits(req, &what) {
+					at, ok = d.At, true
+					break
+				}
+			}
+		}
+		if !ok {
+			continue
+		}
+		if !best.Found || at < best.At ||
+			(at == best.At && host.Index < best.HostIndex) {
+			best = Reservation{Found: true, HostIndex: host.Index, At: at}
+		}
+	}
+	return best
+}
+
+// CanBackfill reports whether admitting cand now cannot delay the blocked
+// head's shadow reservation. Three cases:
+//
+//   - the head has no reservation (it fits nowhere even after every known
+//     departure): nothing to delay, backfill freely;
+//   - cand lands on a different host than the reservation: the reserved
+//     capacity is untouched;
+//   - cand lands on the reserved host: recompute the reservation with cand
+//     charged (conservatively assumed to never depart — its lifetime is
+//     only drawn at admission) and require the head to still fit no later
+//     than before.
+func CanBackfill(head Request, res Reservation, hosts []*HostCap, deps []Departure, fits FitFunc, cand Placement) bool {
+	if !res.Found {
+		return true
+	}
+	if cand.HostIndex != res.HostIndex {
+		return true
+	}
+	after := ShadowReservation(head, hosts, deps, fits, &cand)
+	return after.Found && after.At <= res.At
+}

@@ -1,0 +1,113 @@
+package controlplane
+
+// What-if deduction helpers. The planners (and the cluster's gang
+// reserve phase) need to charge a hypothetical placement against a free-
+// memory vector without touching a real allocator. These mirror the
+// arithmetic of mem.Allocator.Alloc for the three placement policies, so a
+// what-if that fits here fits the real allocator too — and where rounding
+// could diverge, the callers treat the subsequent real allocation failure
+// as "capacity moved" and roll back rather than trusting the estimate.
+
+// TakeFill deducts memMB from free in fill order (node 0 upward, spilling
+// to the next node when one runs dry), mutating free in place. It returns
+// the per-node takes and the amount that did not fit (0 when free covered
+// the request).
+func TakeFill(free []int64, memMB int64) (takes []int64, short int64) {
+	takes = make([]int64, len(free))
+	remaining := memMB
+	for node := 0; node < len(free) && remaining > 0; node++ {
+		take := remaining
+		if take > free[node] {
+			take = free[node]
+		}
+		if take <= 0 {
+			continue
+		}
+		free[node] -= take
+		takes[node] += take
+		remaining -= take
+	}
+	return takes, remaining
+}
+
+// TakeLocal deducts memMB preferring one node, spilling in fill order.
+func TakeLocal(free []int64, memMB int64, preferred int) (takes []int64, short int64) {
+	takes = make([]int64, len(free))
+	remaining := memMB
+	if preferred >= 0 && preferred < len(free) {
+		take := remaining
+		if take > free[preferred] {
+			take = free[preferred]
+		}
+		if take > 0 {
+			free[preferred] -= take
+			takes[preferred] += take
+			remaining -= take
+		}
+	}
+	for node := 0; node < len(free) && remaining > 0; node++ {
+		take := remaining
+		if take > free[node] {
+			take = free[node]
+		}
+		if take <= 0 {
+			continue
+		}
+		free[node] -= take
+		takes[node] += take
+		remaining -= take
+	}
+	return takes, remaining
+}
+
+// TakeStripe deducts memMB spread evenly over the nodes that still have
+// room, looping on the remainder exactly like mem.Allocator's stripe pass.
+func TakeStripe(free []int64, memMB int64) (takes []int64, short int64) {
+	takes = make([]int64, len(free))
+	remaining := memMB
+	for remaining > 0 {
+		withRoom := 0
+		for _, f := range free {
+			if f > 0 {
+				withRoom++
+			}
+		}
+		if withRoom == 0 {
+			break
+		}
+		per := remaining / int64(withRoom)
+		if per == 0 {
+			per = 1
+		}
+		before := remaining
+		for node := 0; node < len(free) && remaining > 0; node++ {
+			want := per
+			if want > remaining {
+				want = remaining
+			}
+			if want > free[node] {
+				want = free[node]
+			}
+			if want <= 0 {
+				continue
+			}
+			free[node] -= want
+			takes[node] += want
+			remaining -= want
+		}
+		if remaining == before {
+			break
+		}
+	}
+	return takes, remaining
+}
+
+// addTo returns per-node free memory with deltas added (a departure or an
+// eviction replayed onto a snapshot).
+func addTo(free, deltas []int64) {
+	for i := range deltas {
+		if i < len(free) {
+			free[i] += deltas[i]
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package controlplane
+
+import "sort"
+
+// Move is one descheduler relocation: victim VM to target host.
+type Move struct {
+	VictimID   int
+	TargetHost int
+}
+
+// DrainPlan empties host HostIndex by the listed moves, in order.
+type DrainPlan struct {
+	HostIndex int
+	Moves     []Move
+}
+
+// PlanDrain is the descheduler's consolidation search: pick the emptiest
+// feasible host — fewest live VMs, every one of them movable — whose
+// entire population can be re-placed on the other hosts, and return the
+// assignment. Hosts whose Victims list is shorter than LiveVMs have pinned
+// residents (cooldown, mid-migration) and are never drained. Returns nil
+// when no host can be fully drained.
+//
+// Victims are assigned in ID order, each to the other host with the most
+// free memory after earlier assignments (ties to the lower index) that
+// fits it — a deterministic first-fit-decreasing-space heuristic. The
+// caller re-validates each move against the live pipeline at execution
+// time, so an assignment here is a plan, not a promise.
+func PlanDrain(hosts []*HostCap, fits FitFunc) *DrainPlan {
+	// Source candidates: fully-movable, non-empty, emptiest first.
+	var sources []*HostCap
+	for _, h := range hosts {
+		if h.LiveVMs > 0 && len(h.Victims) == h.LiveVMs {
+			sources = append(sources, h)
+		}
+	}
+	sort.Slice(sources, func(i, j int) bool {
+		if sources[i].LiveVMs != sources[j].LiveVMs {
+			return sources[i].LiveVMs < sources[j].LiveVMs
+		}
+		return sources[i].Index < sources[j].Index
+	})
+
+	for _, src := range sources {
+		if plan := planDrainOf(src, hosts, fits); plan != nil {
+			return plan
+		}
+	}
+	return nil
+}
+
+// planDrainOf tries to re-place every victim of src on the other hosts.
+func planDrainOf(src *HostCap, hosts []*HostCap, fits FitFunc) *DrainPlan {
+	// What-if copies of every target.
+	targets := make([]*HostCap, 0, len(hosts)-1)
+	for _, h := range hosts {
+		if h.Index == src.Index {
+			continue
+		}
+		c := h.clone()
+		targets = append(targets, &c)
+	}
+	if len(targets) == 0 {
+		return nil
+	}
+
+	victims := append([]Victim(nil), src.Victims...)
+	sort.Slice(victims, func(i, j int) bool { return victims[i].ID < victims[j].ID })
+
+	plan := &DrainPlan{HostIndex: src.Index}
+	for _, v := range victims {
+		req := Request{ID: v.ID, MemoryMB: v.MemoryMB, VCPUs: v.VCPUs, Priority: v.Priority}
+		var tgt *HostCap
+		for _, t := range targets {
+			if !fits(req, t) {
+				continue
+			}
+			if tgt == nil || t.FreeMB() > tgt.FreeMB() ||
+				(t.FreeMB() == tgt.FreeMB() && t.Index < tgt.Index) {
+				tgt = t
+			}
+		}
+		if tgt == nil {
+			return nil // this source cannot fully drain
+		}
+		// Charge the move: deduct greedily from the target's fullest
+		// nodes (the shape the pipeline's local/stripe plans prefer).
+		charge(tgt, v)
+		plan.Moves = append(plan.Moves, Move{VictimID: v.ID, TargetHost: tgt.Index})
+	}
+	return plan
+}
+
+// charge deducts a victim's footprint from a what-if target: largest free
+// node first, mirroring the single-node-first preference of the real
+// memory plans.
+func charge(t *HostCap, v Victim) {
+	remaining := v.MemoryMB
+	for remaining > 0 {
+		best, bestFree := -1, int64(0)
+		for i, f := range t.FreePerNodeMB {
+			if f > bestFree {
+				best, bestFree = i, f
+			}
+		}
+		if best < 0 {
+			break
+		}
+		take := remaining
+		if take > bestFree {
+			take = bestFree
+		}
+		t.FreePerNodeMB[best] -= take
+		remaining -= take
+	}
+	t.GuestVCPUs += v.VCPUs
+	t.LiveVMs++
+}

@@ -1,0 +1,106 @@
+package controlplane
+
+import "sort"
+
+// PreemptPlan is the outcome of a preemption search: evict VictimIDs (in
+// eviction order) from host HostIndex and the blocked request fits there.
+// CostCycles is the summed eviction price.
+type PreemptPlan struct {
+	HostIndex  int
+	VictimIDs  []int
+	CostCycles float64
+}
+
+// PlanPreemption searches every host for a minimal set of strictly-lower-
+// priority victims whose eviction admits req, and returns the cheapest
+// plan (ties: fewer victims, then lower host index), or nil when no host
+// can be preempted into fitting.
+//
+// Per host the search is greedy-then-prune: victims are taken cheapest and
+// lowest-priority first until the request fits, then each chosen victim is
+// dropped again (most expensive first) if the fit survives without it. The
+// result is minimal in the sense that no chosen victim is redundant —
+// exact minimum-cost eviction is a knapsack variant not worth its
+// nondeterminism risk here.
+//
+// Only victims with Priority < req.Priority are considered; callers may
+// pre-filter but do not need to.
+func PlanPreemption(req Request, hosts []*HostCap, fits FitFunc) *PreemptPlan {
+	var best *PreemptPlan
+	for _, host := range hosts {
+		plan := planHostPreemption(req, host, fits)
+		if plan == nil {
+			continue
+		}
+		if best == nil ||
+			plan.CostCycles < best.CostCycles ||
+			(plan.CostCycles == best.CostCycles && len(plan.VictimIDs) < len(best.VictimIDs)) ||
+			(plan.CostCycles == best.CostCycles && len(plan.VictimIDs) == len(best.VictimIDs) &&
+				plan.HostIndex < best.HostIndex) {
+			best = plan
+		}
+	}
+	return best
+}
+
+// planHostPreemption finds this host's minimal victim set, or nil.
+func planHostPreemption(req Request, host *HostCap, fits FitFunc) *PreemptPlan {
+	var pool []Victim
+	for _, v := range host.Victims {
+		if v.Priority < req.Priority {
+			pool = append(pool, v)
+		}
+	}
+	if len(pool) == 0 {
+		return nil
+	}
+	// Cheapest, lowest class first; ID breaks remaining ties so the
+	// greedy order is total.
+	sort.Slice(pool, func(i, j int) bool {
+		a, b := pool[i], pool[j]
+		if a.Priority != b.Priority {
+			return a.Priority < b.Priority
+		}
+		if a.CostCycles != b.CostCycles {
+			return a.CostCycles < b.CostCycles
+		}
+		return a.ID < b.ID
+	})
+
+	what := host.clone()
+	var chosen []Victim
+	fitted := false
+	for _, v := range pool {
+		addTo(what.FreePerNodeMB, v.FreesPerNodeMB)
+		what.GuestVCPUs -= v.VCPUs
+		chosen = append(chosen, v)
+		if fits(req, &what) {
+			fitted = true
+			break
+		}
+	}
+	if !fitted {
+		return nil
+	}
+	// Prune pass: drop victims (most expensive first) whose eviction the
+	// fit does not actually need.
+	for i := len(chosen) - 1; i >= 0; i-- {
+		trial := host.clone()
+		for j, v := range chosen {
+			if j == i {
+				continue
+			}
+			addTo(trial.FreePerNodeMB, v.FreesPerNodeMB)
+			trial.GuestVCPUs -= v.VCPUs
+		}
+		if fits(req, &trial) {
+			chosen = append(chosen[:i], chosen[i+1:]...)
+		}
+	}
+	plan := &PreemptPlan{HostIndex: host.Index}
+	for _, v := range chosen {
+		plan.VictimIDs = append(plan.VictimIDs, v.ID)
+		plan.CostCycles += v.CostCycles
+	}
+	return plan
+}

@@ -20,7 +20,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"table1", "fig1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
 		"table3", "ablate-affinity", "ablate-dynamic", "ablate-pagemig",
-		"fournode", "sensitivity-bounds",
+		"fournode", "sensitivity-bounds", "cluster-controlplane",
 	}
 	ids := IDs()
 	have := map[string]bool{}
@@ -329,6 +329,31 @@ func TestDeterministicExperiments(t *testing.T) {
 			if b.Get(series, label) != v {
 				t.Fatalf("nondeterministic: %s/%s %v vs %v", series, label, v, b.Get(series, label))
 			}
+		}
+	}
+}
+
+// TestControlPlanePreemptionHelpsCritical is the control-plane acceptance
+// bar: at equal offered load, enabling preemption strictly reduces the
+// critical class's mean admission wait, and the mechanism actually fires.
+func TestControlPlanePreemptionHelpsCritical(t *testing.T) {
+	res, err := runControlPlane(context.Background(), testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Get("preemptions", "preempt") == 0 {
+		t.Fatal("preempt variant never preempted under overload")
+	}
+	none := res.Get("crit-wait", "none")
+	preempt := res.Get("crit-wait", "preempt")
+	if preempt >= none {
+		t.Fatalf("critical mean wait %.2fs with preemption, %.2fs without — no strict improvement",
+			preempt, none)
+	}
+	// The full bundle must also report its remaining mechanisms firing.
+	for _, series := range []string{"gangs", "backfills"} {
+		if res.Get(series, "full") == 0 {
+			t.Errorf("full variant reports zero %s", series)
 		}
 	}
 }

@@ -169,6 +169,24 @@ type ClusterV1 struct {
 	// RebalancePeriod is the inter-host rebalancer tick (default 10s; a
 	// negative duration disables rebalancing).
 	RebalancePeriod Duration `json:"rebalance_period,omitempty"`
+	// Preempt lets arrivals above best-effort evict strictly-lower-priority
+	// VMs when no host fits (default off).
+	Preempt bool `json:"preempt,omitempty"`
+	// Gang admits multi-VM groups all-or-nothing (default off).
+	Gang bool `json:"gang,omitempty"`
+	// GangFraction is the fraction of arrivals that form gangs, in [0, 1].
+	// The arrival stream draws gangs whenever the fraction is positive, so
+	// toggling Gang compares mechanisms at equal load.
+	GangFraction float64 `json:"gang_fraction,omitempty"`
+	// GangSize is the number of VMs per gang (default 3 when gangs are
+	// drawn).
+	GangSize int `json:"gang_size,omitempty"`
+	// Backfill lets small low-priority VMs jump the queue into holes that
+	// cannot delay the blocked head (default off).
+	Backfill bool `json:"backfill,omitempty"`
+	// DeschedulePeriod is the defragmentation pass tick; zero disables the
+	// descheduler (the default).
+	DeschedulePeriod Duration `json:"deschedule_period,omitempty"`
 }
 
 // Mixes lists the workload mixes a ClusterV1 accepts, sorted.
@@ -362,6 +380,9 @@ func (c ClusterV1) Normalize() ClusterV1 {
 		// All disabled values share one canonical form.
 		c.RebalancePeriod = Duration(-time.Second)
 	}
+	if c.GangFraction > 0 && c.GangSize == 0 {
+		c.GangSize = 3
+	}
 	return c
 }
 
@@ -400,6 +421,18 @@ func (c ClusterV1) Validate() error {
 	}
 	if n.Mix != "mixed" && n.Mix != "batch" && n.Mix != "server" {
 		return fmt.Errorf("%w: mix %q (have %s)", ErrInvalid, n.Mix, strings.Join(Mixes(), ", "))
+	}
+	if n.GangFraction < 0 || n.GangFraction > 1 {
+		return fmt.Errorf("%w: gang_fraction %v must be in [0, 1]", ErrInvalid, n.GangFraction)
+	}
+	if n.GangSize < 0 {
+		return fmt.Errorf("%w: gang_size %d must not be negative", ErrInvalid, n.GangSize)
+	}
+	if n.Gang && n.GangFraction == 0 {
+		return fmt.Errorf("%w: gang requires a positive gang_fraction", ErrInvalid)
+	}
+	if n.DeschedulePeriod < 0 {
+		return fmt.Errorf("%w: deschedule_period %v must not be negative", ErrInvalid, n.DeschedulePeriod.Std())
 	}
 	return nil
 }

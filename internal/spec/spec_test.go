@@ -52,6 +52,14 @@ func TestClusterNormalizeDefaults(t *testing.T) {
 	if a.Key() != b.Key() {
 		t.Error("two disabled-rebalance specs should share a canonical key")
 	}
+	// Control-plane defaults: gangs default to size 3 once the stream draws
+	// them; without gangs the size stays unset and the descheduler off.
+	if g := (spec.ClusterV1{GangFraction: 0.2}).Normalize(); g.GangSize != 3 {
+		t.Errorf("gang_size with gangs drawn = %d, want 3", g.GangSize)
+	}
+	if n.GangSize != 0 || n.DeschedulePeriod != 0 || n.Preempt || n.Gang || n.Backfill {
+		t.Error("control-plane mechanisms must default off")
+	}
 }
 
 // TestValidateErrors walks the validation failures and asserts each wraps
@@ -112,6 +120,11 @@ func TestClusterValidateErrors(t *testing.T) {
 		{"mix", spec.ClusterV1{Mix: "spicy"}, spec.ErrInvalid},
 		{"workers", spec.ClusterV1{Workers: -2}, spec.ErrInvalid},
 		{"lifetime", spec.ClusterV1{MeanLifetime: spec.Duration(-time.Second)}, spec.ErrInvalid},
+		{"gang-fraction-low", spec.ClusterV1{GangFraction: -0.1}, spec.ErrInvalid},
+		{"gang-fraction-high", spec.ClusterV1{GangFraction: 1.5}, spec.ErrInvalid},
+		{"gang-size", spec.ClusterV1{GangFraction: 0.2, GangSize: -1}, spec.ErrInvalid},
+		{"gang-without-fraction", spec.ClusterV1{Gang: true}, spec.ErrInvalid},
+		{"deschedule", spec.ClusterV1{DeschedulePeriod: spec.Duration(-time.Second)}, spec.ErrInvalid},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
