@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race smoke smoke-serve bench
+.PHONY: all build vet lint test race smoke smoke-serve bench bench-check escape-baseline
 
 all: build lint test
 
@@ -18,10 +18,19 @@ vet:
 	$(GO) vet ./...
 
 # lint = go vet + the determinism contract (mapiter, walltime, ctxflow,
-# eventswitch, errsentinel) and the deprecation fence (deprecated).
-# `go run ./cmd/vprobe-vet -list` shows them.
+# eventswitch, errsentinel), the deprecation fence (deprecated), the
+# module-wide contract analyzers (hotpath, specfield, telemetryhandle),
+# and the compiler's escape-analysis baseline (vprobe-escape -diff).
+# `go run ./cmd/vprobe-vet -list` shows the analyzers.
 lint: vet
 	$(GO) run ./cmd/vprobe-vet ./...
+	$(GO) run ./cmd/vprobe-escape -diff
+
+# escape-baseline rewrites ESCAPES_hotpath.json from the current compiler
+# output. Run it after deliberately changing hot-path allocation behaviour
+# and commit the refreshed manifest with the change that caused it.
+escape-baseline:
+	$(GO) run ./cmd/vprobe-escape -update
 
 test:
 	$(GO) test ./...
@@ -51,3 +60,11 @@ LABEL ?= local
 bench:
 	$(GO) test -run '^$$' -bench 'QuantumHotPath|SimulationSecond|PerfExecute|PickSteal|^BenchmarkPartition$$|SpecCompile' -benchtime 2s . \
 		| $(GO) run ./cmd/vprobe-bench -label '$(LABEL)'
+
+# bench-check runs the same benchmark set briefly and compares it against
+# the last committed BENCH_hotpath.json entry instead of appending: >25%
+# ns/op regression or any allocs/op on a zero-alloc baseline fails. 1s per
+# benchmark keeps scheduler noise inside the tolerance.
+bench-check:
+	$(GO) test -run '^$$' -bench 'QuantumHotPath|SimulationSecond|PerfExecute|PickSteal|^BenchmarkPartition$$|SpecCompile' -benchtime 1s . \
+		| $(GO) run ./cmd/vprobe-bench -check

@@ -5,9 +5,16 @@
 // the first entry is the pre-refactor baseline, later entries track every
 // `make bench` run since. See EXPERIMENTS.md for how to read the file.
 //
+// With -check, the fresh run is compared against the last committed
+// snapshot instead of appended: a benchmark that regresses more than 25%
+// in ns/op, or that gains any allocs/op while the committed entry reports
+// zero, fails the check. ns/op on shared CI hardware is noisy, hence the
+// wide tolerance; allocs/op is deterministic, hence none.
+//
 // Usage:
 //
 //	go test -run '^$' -bench . -benchmem . | go run ./cmd/vprobe-bench -label my-change
+//	go test -run '^$' -bench . -benchmem . | go run ./cmd/vprobe-bench -check
 package main
 
 import (
@@ -18,6 +25,7 @@ import (
 	"os"
 	"regexp"
 	"runtime"
+	"sort"
 	"strconv"
 )
 
@@ -36,6 +44,9 @@ type Snapshot struct {
 	Benchmarks map[string]Metrics `json:"benchmarks"`
 }
 
+// maxNsRegression is the tolerated ns/op growth factor in -check mode.
+const maxNsRegression = 1.25
+
 // benchLine matches one result line, e.g.
 //
 //	BenchmarkQuantumHotPath-8   7270830   345.8 ns/op   0 B/op   0 allocs/op
@@ -48,9 +59,11 @@ var benchLine = regexp.MustCompile(
 
 func main() {
 	out := flag.String("out", "BENCH_hotpath.json", "history file to append the snapshot to")
-	label := flag.String("label", "", "snapshot label (required; e.g. the change being measured)")
+	label := flag.String("label", "", "snapshot label (required unless -check)")
+	check := flag.Bool("check", false,
+		"compare stdin against the last committed snapshot instead of appending")
 	flag.Parse()
-	if *label == "" {
+	if !*check && *label == "" {
 		fmt.Fprintln(os.Stderr, "vprobe-bench: -label is required")
 		os.Exit(2)
 	}
@@ -93,6 +106,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "vprobe-bench: %v\n", err)
 		os.Exit(1)
 	}
+
+	if *check {
+		os.Exit(runCheck(history, snap, *out))
+	}
+
 	history = append(history, snap)
 
 	data, err := json.MarshalIndent(history, "", "  ")
@@ -107,4 +125,50 @@ func main() {
 	}
 	fmt.Printf("vprobe-bench: appended snapshot %q (%d benchmarks) to %s (%d entries)\n",
 		snap.Label, len(snap.Benchmarks), *out, len(history))
+}
+
+// runCheck compares the fresh snapshot against the last committed entry
+// and returns the process exit code: 0 clean, 1 regression.
+func runCheck(history []Snapshot, fresh Snapshot, out string) int {
+	if len(history) == 0 {
+		fmt.Fprintf(os.Stderr, "vprobe-bench: -check needs at least one committed snapshot in %s\n", out)
+		return 2
+	}
+	base := history[len(history)-1]
+
+	names := make([]string, 0, len(fresh.Benchmarks))
+	for name := range fresh.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failures := 0
+	compared := 0
+	for _, name := range names {
+		cur := fresh.Benchmarks[name]
+		ref, ok := base.Benchmarks[name]
+		if !ok {
+			fmt.Printf("vprobe-bench: %s: new benchmark, no baseline (label %q)\n", name, base.Label)
+			continue
+		}
+		compared++
+		if ref.AllocsPerOp == 0 && cur.AllocsPerOp > 0 {
+			fmt.Printf("vprobe-bench: FAIL %s: %.0f allocs/op, baseline %q is allocation-free\n",
+				name, cur.AllocsPerOp, base.Label)
+			failures++
+		}
+		if ref.NsPerOp > 0 && cur.NsPerOp > ref.NsPerOp*maxNsRegression {
+			fmt.Printf("vprobe-bench: FAIL %s: %.1f ns/op vs %.1f ns/op in %q (+%.0f%%, tolerance %.0f%%)\n",
+				name, cur.NsPerOp, ref.NsPerOp, base.Label,
+				(cur.NsPerOp/ref.NsPerOp-1)*100, (maxNsRegression-1)*100)
+			failures++
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "vprobe-bench: %d regression(s) vs snapshot %q\n", failures, base.Label)
+		return 1
+	}
+	fmt.Printf("vprobe-bench: check clean: %d benchmark(s) within bounds of snapshot %q\n",
+		compared, base.Label)
+	return 0
 }

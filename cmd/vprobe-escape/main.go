@@ -1,0 +1,336 @@
+// Command vprobe-escape baselines the compiler's escape-analysis
+// decisions over the hot-path packages. The static hotpath analyzer
+// (vprobe-vet) reasons about constructs; the compiler knows what actually
+// reaches the heap. This tool runs `go build -gcflags=<module>/...=-m`
+// over the hot-path package set, normalizes every "escapes to heap" /
+// "moved to heap" line into a (file, function, message) site, and either
+// writes the sorted manifest (-update) or compares it against the
+// checked-in baseline (-diff).
+//
+// Site identity deliberately excludes the line number: moving code within
+// a function must not churn the baseline. The line is carried for
+// reporting only.
+//
+// The build runs under a dedicated GOCACHE (VPROBE_ESCAPE_GOCACHE, or a
+// stable per-user temp directory) so the -m build never competes with the
+// normal build cache for flags, and CI can cache it as its own artifact.
+// Cache hits still replay the compiler's diagnostics, so a warm cache
+// yields the full manifest in a few hundred milliseconds.
+//
+// Usage:
+//
+//	vprobe-escape -update [-baseline file] [packages]
+//	vprobe-escape -diff   [-baseline file] [packages]
+//
+// Exit status: 0 clean, 1 new escape sites, 2 build or usage failure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// hotPackages is the default analysis set: the packages the quantum and
+// admission hot paths live in (the //vprobe:hotpath roots and everything
+// they reach).
+var hotPackages = []string{
+	"./internal/xen",
+	"./internal/sim",
+	"./internal/perf",
+	"./internal/mem",
+	"./internal/core",
+	"./internal/sched",
+	"./internal/cluster",
+}
+
+// Site is one normalized escape decision.
+type Site struct {
+	File    string `json:"file"`
+	Func    string `json:"func"`
+	Message string `json:"message"`
+	Line    int    `json:"line"`
+}
+
+// Manifest is the checked-in baseline format.
+type Manifest struct {
+	Packages []string `json:"packages"`
+	Sites    []Site   `json:"sites"`
+}
+
+func (s Site) key() string { return s.File + "\x00" + s.Func + "\x00" + s.Message }
+
+func main() {
+	update := flag.Bool("update", false, "rewrite the baseline from the current build")
+	diff := flag.Bool("diff", false, "compare the current build against the baseline")
+	baseline := flag.String("baseline", "ESCAPES_hotpath.json", "baseline manifest path (relative to the module root)")
+	flag.Parse()
+	if *update == *diff {
+		fmt.Fprintln(os.Stderr, "vprobe-escape: exactly one of -update or -diff is required")
+		os.Exit(2)
+	}
+
+	pkgs := flag.Args()
+	if len(pkgs) == 0 {
+		pkgs = hotPackages
+	}
+
+	root, modPath, err := findModule()
+	if err != nil {
+		fatal(err)
+	}
+	sites, err := collect(root, modPath, pkgs)
+	if err != nil {
+		fatal(err)
+	}
+	manifest := Manifest{Packages: pkgs, Sites: sites}
+
+	basePath := *baseline
+	if !filepath.IsAbs(basePath) {
+		basePath = filepath.Join(root, basePath)
+	}
+
+	if *update {
+		data, err := json.MarshalIndent(manifest, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(basePath, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("vprobe-escape: wrote %d site(s) to %s\n", len(sites), *baseline)
+		return
+	}
+
+	old, err := readManifest(basePath)
+	if err != nil {
+		fatal(fmt.Errorf("%w (run `make escape-baseline` to create it)", err))
+	}
+	fresh, gone := compare(old.Sites, manifest.Sites)
+	for _, s := range gone {
+		fmt.Printf("vprobe-escape: resolved: %s: %s: %s\n", s.File, s.Func, s.Message)
+	}
+	if len(gone) > 0 && len(fresh) == 0 {
+		fmt.Printf("vprobe-escape: %d site(s) resolved; refresh with `make escape-baseline`\n", len(gone))
+	}
+	if len(fresh) > 0 {
+		for _, s := range fresh {
+			fmt.Printf("vprobe-escape: NEW escape site: %s:%d: in %s: %s\n", s.File, s.Line, s.Func, s.Message)
+		}
+		fmt.Fprintf(os.Stderr, "vprobe-escape: %d new escape site(s) vs %s; "+
+			"fix them or refresh the baseline with `make escape-baseline`\n", len(fresh), *baseline)
+		os.Exit(1)
+	}
+	fmt.Printf("vprobe-escape: clean (%d baselined site(s))\n", len(manifest.Sites))
+}
+
+// collect builds the packages with -m under the dedicated cache and
+// normalizes the escape lines.
+func collect(root, modPath string, pkgs []string) ([]Site, error) {
+	args := append([]string{"build", "-gcflags=" + modPath + "/...=-m"}, pkgs...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = root
+	cmd.Env = append(os.Environ(), "GOCACHE="+cacheDir())
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("go build -gcflags=-m failed: %w\n%s", err, out)
+	}
+
+	type ref struct {
+		file string
+		line int
+		msg  string
+	}
+	var refs []ref
+	files := map[string]bool{}
+	for _, raw := range strings.Split(string(out), "\n") {
+		line := strings.TrimSpace(raw)
+		if !strings.HasSuffix(line, "escapes to heap") && !strings.Contains(line, "moved to heap:") {
+			continue
+		}
+		// file.go:line:col: message
+		parts := strings.SplitN(line, ":", 4)
+		if len(parts) != 4 || !strings.HasSuffix(parts[0], ".go") {
+			continue
+		}
+		ln, err := strconv.Atoi(parts[1])
+		if err != nil {
+			continue
+		}
+		refs = append(refs, ref{file: parts[0], line: ln, msg: strings.TrimSpace(parts[3])})
+		files[parts[0]] = true
+	}
+
+	// Resolve each site's enclosing function once per file.
+	funcs := map[string]*fileFuncs{}
+	for f := range files {
+		ff, err := parseFuncs(filepath.Join(root, f))
+		if err != nil {
+			return nil, err
+		}
+		funcs[f] = ff
+	}
+
+	sites := make([]Site, 0, len(refs))
+	for _, r := range refs {
+		sites = append(sites, Site{
+			File:    r.file,
+			Func:    funcs[r.file].at(r.line),
+			Message: r.msg,
+			Line:    r.line,
+		})
+	}
+	sort.Slice(sites, func(i, j int) bool {
+		a, b := sites[i], sites[j]
+		if a.key() != b.key() {
+			return a.key() < b.key()
+		}
+		return a.Line < b.Line
+	})
+	return sites, nil
+}
+
+// compare multiset-diffs the two site lists by identity key: fresh are
+// sites whose key count grew, gone are keys whose count shrank.
+func compare(old, cur []Site) (fresh, gone []Site) {
+	oldCount := map[string]int{}
+	for _, s := range old {
+		oldCount[s.key()]++
+	}
+	seen := map[string]int{}
+	for _, s := range cur {
+		seen[s.key()]++
+		if seen[s.key()] > oldCount[s.key()] {
+			fresh = append(fresh, s)
+		}
+	}
+	curCount := map[string]int{}
+	for _, s := range cur {
+		curCount[s.key()]++
+	}
+	reported := map[string]int{}
+	for _, s := range old {
+		reported[s.key()]++
+		if reported[s.key()] > curCount[s.key()] {
+			gone = append(gone, s)
+		}
+	}
+	return fresh, gone
+}
+
+// fileFuncs maps line numbers to enclosing top-level function names.
+type fileFuncs struct {
+	starts []int
+	ends   []int
+	names  []string
+}
+
+// at returns the name of the function declaration containing line, or
+// "(package)" for package-scope positions.
+func (f *fileFuncs) at(line int) string {
+	for i := range f.starts {
+		if line >= f.starts[i] && line <= f.ends[i] {
+			return f.names[i]
+		}
+	}
+	return "(package)"
+}
+
+// parseFuncs indexes a source file's function declarations by line range.
+func parseFuncs(path string) (*fileFuncs, error) {
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, path, nil, 0)
+	if err != nil {
+		return nil, err
+	}
+	ff := &fileFuncs{}
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		ff.starts = append(ff.starts, fset.Position(fd.Pos()).Line)
+		ff.ends = append(ff.ends, fset.Position(fd.End()).Line)
+		ff.names = append(ff.names, funcName(fd))
+	}
+	return ff, nil
+}
+
+// funcName renders a declaration as it reads in the source: Partition,
+// (*Hypervisor).dispatch, (Dist).CloneInto.
+func funcName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	return "(" + typeText(fd.Recv.List[0].Type) + ")." + fd.Name.Name
+}
+
+func typeText(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.StarExpr:
+		return "*" + typeText(e.X)
+	case *ast.IndexExpr:
+		return typeText(e.X)
+	}
+	return "?"
+}
+
+// cacheDir is the dedicated GOCACHE for -m builds.
+func cacheDir() string {
+	if dir := os.Getenv("VPROBE_ESCAPE_GOCACHE"); dir != "" {
+		return dir
+	}
+	return filepath.Join(os.TempDir(), "vprobe-escape-gocache")
+}
+
+func readManifest(path string) (*Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return &m, nil
+}
+
+// findModule walks up from the working directory to the enclosing go.mod.
+func findModule() (root, modPath string, err error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		gomod := filepath.Join(dir, "go.mod")
+		if data, err := os.ReadFile(gomod); err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("no module line in %s", gomod)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "vprobe-escape: %v\n", err)
+	os.Exit(2)
+}

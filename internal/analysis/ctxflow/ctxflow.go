@@ -23,7 +23,8 @@ var Analyzer = &framework.Analyzer{
 	Name: "ctxflow",
 	Doc: "forbid context.Background/TODO in internal packages; thread the " +
 		"caller's ctx (suppress with //vet:ctx)",
-	Run: run,
+	Run:        run,
+	Directives: []string{"ctx"},
 }
 
 func inScope(path string) bool {

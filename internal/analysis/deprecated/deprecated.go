@@ -20,7 +20,8 @@ var Analyzer = &framework.Analyzer{
 	Name: "deprecated",
 	Doc: "forbid in-repo use of the deprecated Config.Trace and VM.RunServer " +
 		"shims (suppress with //vet:deprecated)",
-	Run: run,
+	Run:        run,
+	Directives: []string{"deprecated"},
 }
 
 // banned maps deprecated root-package symbols to their replacement hint.

@@ -20,7 +20,8 @@ var Analyzer = &framework.Analyzer{
 	Name: "errsentinel",
 	Doc: "require fmt.Errorf to wrap error arguments with %w so errors.Is " +
 		"keeps matching sentinels (suppress with //vet:nowrap)",
-	Run: run,
+	Run:        run,
+	Directives: []string{"nowrap"},
 }
 
 func run(pass *framework.Pass) (any, error) {

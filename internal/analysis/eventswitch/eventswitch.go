@@ -23,7 +23,8 @@ var Analyzer = &framework.Analyzer{
 	Name: "eventswitch",
 	Doc: "require switches over EventKind/Kind enums to cover every " +
 		"declared constant (suppress with //vet:partial)",
-	Run: run,
+	Run:        run,
+	Directives: []string{"partial"},
 }
 
 // enumTypeName reports whether a named type is one of the contract's

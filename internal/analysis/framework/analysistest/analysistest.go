@@ -69,6 +69,45 @@ func Run(t *testing.T, testdata string, a *framework.Analyzer, paths ...string) 
 	}
 }
 
+// RunModule loads every listed fixture package under testdata/src into one
+// loader and applies the module analyzer once over the whole set — the
+// module-analyzer counterpart of Run, for analyzers whose findings depend
+// on cross-package edges (hotpath reachability, spec-field consumption).
+// Want comments from every listed package participate.
+func RunModule(t *testing.T, testdata string, a *framework.ModuleAnalyzer, paths ...string) {
+	t.Helper()
+	ld := framework.NewTreeLoader(filepath.Join(testdata, "src"))
+	var pkgs []*framework.Package
+	var wants []*want
+	for _, path := range paths {
+		pkg, err := ld.Load(path)
+		if err != nil {
+			t.Fatalf("load %s: %v", path, err)
+		}
+		pkgs = append(pkgs, pkg)
+		ws, err := collectWants(pkg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants = append(wants, ws...)
+	}
+	diags, err := framework.RunModuleAnalyzer(a, ld.Fset, pkgs)
+	if err != nil {
+		t.Fatalf("run %s: %v", a.Name, err)
+	}
+	for _, d := range diags {
+		pos := ld.Fset.Position(d.Pos)
+		if !claim(wants, pos.Filename, pos.Line, d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
 // claim marks the first unmatched want on (file, line) whose pattern
 // matches msg.
 func claim(wants []*want, file string, line int, msg string) bool {

@@ -26,6 +26,9 @@ type Analyzer struct {
 	Doc string
 	// Run applies the analyzer to one package.
 	Run func(*Pass) (any, error)
+	// Directives lists the //vet:<name> suppression names this analyzer
+	// honours; the driver uses the union to report dangling directives.
+	Directives []string
 }
 
 // Diagnostic is one finding, anchored at a token position. It mirrors
@@ -45,9 +48,9 @@ type Pass struct {
 	TypesInfo *types.Info
 	Report    func(Diagnostic)
 
-	// directives maps filename -> line -> directive names present on that
+	// directives maps filename -> line -> directives present on that
 	// line, built lazily from the files' comments.
-	directives map[string]map[int][]string
+	directives map[string]map[int][]Directive
 }
 
 // Reportf reports a formatted diagnostic at pos.
@@ -60,28 +63,55 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // name (separated by a space) is free-form justification.
 const DirectivePrefix = "vet:"
 
+// Directive is one parsed `//vet:<name> <reason>` suppression comment.
+// The reason is everything after the name, trimmed; analyzers that require
+// written justification (hotpath's //vet:alloc) check Reason != "".
+type Directive struct {
+	// Name is the directive identifier after the vet: prefix.
+	Name string
+	// Reason is the free-form justification following the name.
+	Reason string
+	// Pos is where the comment starts.
+	Pos token.Pos
+}
+
 // Suppressed reports whether a `//vet:<name>` directive covers pos: on the
 // same line as pos or on the line immediately above.
 func (p *Pass) Suppressed(pos token.Pos, name string) bool {
+	_, ok := p.Suppression(pos, name)
+	return ok
+}
+
+// Suppression returns the `//vet:<name>` directive covering pos (same line
+// or the line immediately above), so analyzers can inspect the written
+// reason.
+func (p *Pass) Suppression(pos token.Pos, name string) (Directive, bool) {
 	if p.directives == nil {
 		p.directives = collectDirectives(p.Fset, p.Files)
 	}
-	position := p.Fset.Position(pos)
-	lines := p.directives[position.Filename]
+	return lookupDirective(p.directives, p.Fset, pos, name)
+}
+
+// lookupDirective finds a directive named name covering pos in a
+// filename -> line -> directives index.
+func lookupDirective(idx map[string]map[int][]Directive, fset *token.FileSet,
+	pos token.Pos, name string) (Directive, bool) {
+	position := fset.Position(pos)
+	lines := idx[position.Filename]
 	for _, line := range []int{position.Line, position.Line - 1} {
 		for _, d := range lines[line] {
-			if d == name {
-				return true
+			if d.Name == name {
+				return d, true
 			}
 		}
 	}
-	return false
+	return Directive{}, false
 }
 
 // collectDirectives scans every comment of every file for //vet: markers,
 // keyed by the line the comment starts on.
-func collectDirectives(fset *token.FileSet, files []*ast.File) map[string]map[int][]string {
-	out := make(map[string]map[int][]string)
+func collectDirectives(fset *token.FileSet, files []*ast.File) map[string]map[int][]Directive {
+	out := make(map[string]map[int][]Directive)
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -90,17 +120,19 @@ func collectDirectives(fset *token.FileSet, files []*ast.File) map[string]map[in
 					continue
 				}
 				name := strings.TrimPrefix(text, DirectivePrefix)
+				reason := ""
 				if i := strings.IndexAny(name, " \t—"); i >= 0 {
-					name = name[:i]
+					name, reason = name[:i], strings.TrimLeft(name[i:], " \t—")
 				}
 				if name == "" {
 					continue
 				}
 				pos := fset.Position(c.Pos())
 				if out[pos.Filename] == nil {
-					out[pos.Filename] = make(map[int][]string)
+					out[pos.Filename] = make(map[int][]Directive)
 				}
-				out[pos.Filename][pos.Line] = append(out[pos.Filename][pos.Line], name)
+				out[pos.Filename][pos.Line] = append(out[pos.Filename][pos.Line],
+					Directive{Name: name, Reason: strings.TrimSpace(reason), Pos: c.Pos()})
 			}
 		}
 	}

@@ -1,0 +1,168 @@
+package framework
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// ModuleAnalyzer is a whole-module static check: unlike Analyzer, whose Run
+// sees one package at a time, a ModuleAnalyzer's Run sees every loaded
+// package at once, so it can follow call edges and contracts across package
+// boundaries (the hotpath reachability walk, the spec-field/compile-layer
+// contract). It deliberately mirrors Analyzer's shape.
+type ModuleAnalyzer struct {
+	// Name identifies the analyzer in diagnostics and -only filters.
+	Name string
+	// Doc is the one-paragraph help text (first line is the summary).
+	Doc string
+	// Run applies the analyzer to the whole package set.
+	Run func(*ModulePass) (any, error)
+	// Directives lists the //vet:<name> suppression names this analyzer
+	// honours; the driver uses the union to report dangling directives.
+	Directives []string
+}
+
+// ModulePass carries the full typechecked package set through a
+// ModuleAnalyzer.Run call, with the same Report/Suppressed vocabulary as
+// the per-package Pass plus object-fact plumbing for analyzers that derive
+// cross-package properties (reachability, consumed-field sets).
+type ModulePass struct {
+	Analyzer *ModuleAnalyzer
+	Fset     *token.FileSet
+	// Pkgs is every loaded package, in load order.
+	Pkgs   []*Package
+	Report func(Diagnostic)
+
+	directives map[string]map[int][]Directive
+	facts      map[types.Object][]any
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Suppressed reports whether a `//vet:<name>` directive covers pos, with
+// the same placement rules as Pass.Suppressed (same line or the line
+// immediately above), across every loaded package.
+func (p *ModulePass) Suppressed(pos token.Pos, name string) bool {
+	_, ok := p.Suppression(pos, name)
+	return ok
+}
+
+// Suppression returns the `//vet:<name>` directive covering pos, so the
+// analyzer can check the written reason.
+func (p *ModulePass) Suppression(pos token.Pos, name string) (Directive, bool) {
+	if p.directives == nil {
+		p.directives = map[string]map[int][]Directive{}
+		for _, pkg := range p.Pkgs {
+			for file, lines := range collectDirectives(p.Fset, pkg.Files) {
+				p.directives[file] = lines
+			}
+		}
+	}
+	return lookupDirective(p.directives, p.Fset, pos, name)
+}
+
+// ExportObjectFact attaches a fact to obj. Facts are the cross-analyzer /
+// cross-package plumbing: a module analyzer derives a property once (this
+// function is hot-path reachable; this field is consumed by the compile
+// layer) and later passes or tests read it back with ImportObjectFact.
+func (p *ModulePass) ExportObjectFact(obj types.Object, fact any) {
+	if p.facts == nil {
+		p.facts = map[types.Object][]any{}
+	}
+	p.facts[obj] = append(p.facts[obj], fact)
+}
+
+// ImportObjectFact copies the first fact attached to obj whose type
+// matches the type of *ptr into ptr, reporting whether one was found.
+func (p *ModulePass) ImportObjectFact(obj types.Object, ptr any) bool {
+	for _, f := range p.facts[obj] {
+		if assignFact(ptr, f) {
+			return true
+		}
+	}
+	return false
+}
+
+// assignFact stores fact through ptr when the dynamic types line up.
+func assignFact(ptr, fact any) bool {
+	switch dst := ptr.(type) {
+	case *bool:
+		if v, ok := fact.(bool); ok {
+			*dst = v
+			return true
+		}
+	case *string:
+		if v, ok := fact.(string); ok {
+			*dst = v
+			return true
+		}
+	case *any:
+		*dst = fact
+		return true
+	}
+	return false
+}
+
+// FindPackage returns the loaded package whose import path equals path or
+// ends with "/"+path — so analyzers name real packages by full path
+// ("vprobe/internal/spec") and analysistest fixtures by suffix ("spec").
+func (p *ModulePass) FindPackage(path string) *Package {
+	for _, pkg := range p.Pkgs {
+		if pkg.Path == path || strings.HasSuffix(pkg.Path, "/"+path) {
+			return pkg
+		}
+	}
+	return nil
+}
+
+// RunModuleAnalyzer applies a to the whole package set and returns the
+// diagnostics sorted by position.
+func RunModuleAnalyzer(a *ModuleAnalyzer, fset *token.FileSet, pkgs []*Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &ModulePass{
+		Analyzer: a,
+		Fset:     fset,
+		Pkgs:     pkgs,
+		Report:   func(d Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %w", a.Name, err)
+	}
+	sortDiagnostics(fset, diags)
+	return diags, nil
+}
+
+// DanglingDirectives scans every //vet: comment of the loaded packages and
+// returns a diagnostic for each directive whose name no analyzer claims —
+// a typo ("//vet:allocs") or a suppression that outlived its analyzer
+// would otherwise silently suppress nothing forever.
+func DanglingDirectives(fset *token.FileSet, pkgs []*Package, known []string) []Diagnostic {
+	knownSet := make(map[string]bool, len(known))
+	for _, n := range known {
+		knownSet[n] = true
+	}
+	sorted := append([]string(nil), known...)
+	sort.Strings(sorted)
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, lines := range collectDirectives(fset, pkg.Files) {
+			for _, ds := range lines {
+				for _, d := range ds {
+					if !knownSet[d.Name] {
+						diags = append(diags, Diagnostic{Pos: d.Pos, Message: fmt.Sprintf(
+							"dangling directive //vet:%s: no analyzer honours it (known: %s)",
+							d.Name, strings.Join(sorted, ", "))})
+					}
+				}
+			}
+		}
+	}
+	sortDiagnostics(fset, diags)
+	return diags
+}

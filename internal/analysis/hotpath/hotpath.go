@@ -1,0 +1,408 @@
+// Package hotpath enforces the allocation-free quantum contract at compile
+// time. Functions annotated `//vprobe:hotpath` (the quantum roots: the
+// xen dispatch/quantum-end/account/wake callbacks, the sim engine loop,
+// the perf/mem evaluation kernels, Algorithm 1's partition pass, and the
+// cluster numa admission path) become roots of a reachability walk over
+// the module-wide call graph — including calls made through interfaces,
+// resolved to every module implementation — and any reachable function
+// containing an allocating construct is a diagnostic:
+//
+//   - append (may grow its backing array)
+//   - make / new / map and slice literals / &composite literals
+//   - fmt.* calls
+//   - string concatenation and string<->[]byte/[]rune conversions
+//   - closure creation (func literals)
+//   - interface boxing: non-pointer-shaped values converted to interface
+//     types at call arguments or assignments, and variadic interface
+//     calls (the argument slice itself allocates)
+//
+// Constructs that only feed panic() are exempt (a crash path is not the
+// steady state). Everything else must carry an explicit, written
+// justification: `//vet:alloc <reason>` on the same line or the line
+// above. A bare `//vet:alloc` with no reason is itself a diagnostic — the
+// contract requires the why, not just the waiver. The runtime guardrail
+// (TestQuantumSteadyStateZeroAlloc) catches regressions that execute;
+// this analyzer catches the ones hiding in rarely-taken branches.
+package hotpath
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"vprobe/internal/analysis/framework"
+)
+
+// Marker is the annotation that makes a function a hot-path root.
+const Marker = "vprobe:hotpath"
+
+// Analyzer is the hot-path allocation check.
+var Analyzer = &framework.ModuleAnalyzer{
+	Name: "hotpath",
+	Doc: "flag allocating constructs reachable from //vprobe:hotpath roots " +
+		"(suppress with //vet:alloc <reason>; the reason is required)",
+	Run:        run,
+	Directives: []string{"alloc"},
+}
+
+// HotFact is exported (via ModulePass.ExportObjectFact) for every function
+// the walk reaches: the short name of the root it was first reached from.
+type HotFact = string
+
+func run(pass *framework.ModulePass) (any, error) {
+	g := framework.BuildCallGraph(pass.Pkgs)
+
+	// Roots in (package, file, declaration) order — never map order.
+	var queue []*types.Func
+	rootOf := map[*types.Func]*types.Func{}
+	for _, pkg := range pass.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || !framework.FuncAnnotated(fd, Marker) {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok || g.Nodes[fn] == nil {
+					continue
+				}
+				rootOf[fn] = fn
+				queue = append(queue, fn)
+			}
+		}
+	}
+
+	// Breadth-first reachability over the module graph.
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		node := g.Nodes[fn]
+		if node == nil {
+			continue // declared outside the loaded set (stdlib)
+		}
+		for _, callee := range node.Callees {
+			if _, seen := rootOf[callee]; seen {
+				continue
+			}
+			rootOf[callee] = rootOf[fn]
+			queue = append(queue, callee)
+		}
+	}
+
+	for fn, root := range rootOf {
+		node := g.Nodes[fn]
+		if node == nil {
+			continue
+		}
+		pass.ExportObjectFact(fn, HotFact(shortName(root)))
+	}
+
+	// Scan reachable bodies in deterministic package/file order.
+	for _, pkg := range pass.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				root, hot := rootOf[fn]
+				if !hot {
+					continue
+				}
+				s := &scanner{pass: pass, info: pkg.Info, fn: fn, root: root}
+				s.scan(fd.Body)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// scanner walks one reachable function body and reports allocating
+// constructs.
+type scanner struct {
+	pass *framework.ModulePass
+	info *types.Info
+	fn   *types.Func
+	root *types.Func
+	// panicSpans are the argument ranges of panic() calls: allocation on a
+	// crash path is exempt.
+	panicSpans []span
+}
+
+type span struct{ lo, hi token.Pos }
+
+func (s *scanner) scan(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if b, ok := s.info.ObjectOf(id).(*types.Builtin); ok && b.Name() == "panic" {
+				s.panicSpans = append(s.panicSpans, span{call.Pos(), call.End()})
+			}
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			s.checkCall(n)
+		case *ast.CompositeLit:
+			s.checkComposite(n)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					s.report(n.Pos(), "address-of composite literal may escape to the heap")
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && s.isString(n) && !s.isConst(n) {
+				s.report(n.Pos(), "string concatenation allocates")
+			}
+		case *ast.AssignStmt:
+			s.checkAssign(n)
+		case *ast.ValueSpec:
+			s.checkValueSpec(n)
+		case *ast.FuncLit:
+			s.report(n.Pos(), "closure creation may allocate (captured variables escape)")
+		}
+		return true
+	})
+}
+
+// report files one diagnostic unless the site is on a panic path or
+// carries a justified //vet:alloc directive.
+func (s *scanner) report(pos token.Pos, what string) {
+	for _, sp := range s.panicSpans {
+		if pos >= sp.lo && pos < sp.hi {
+			return
+		}
+	}
+	if d, ok := s.pass.Suppression(pos, "alloc"); ok {
+		if d.Reason == "" {
+			s.pass.Reportf(pos, "//vet:alloc requires a written reason (suppressing: %s)", what)
+		}
+		return
+	}
+	s.pass.Reportf(pos, "%s in %s, reachable from //vprobe:hotpath root %s; "+
+		"justify with //vet:alloc <reason> or move it off the hot path",
+		what, shortName(s.fn), shortName(s.root))
+}
+
+func (s *scanner) checkCall(call *ast.CallExpr) {
+	fun := ast.Unparen(call.Fun)
+
+	// Conversions: T(x).
+	if tv, ok := s.info.Types[call.Fun]; ok && tv.IsType() {
+		s.checkConversion(call, tv.Type)
+		return
+	}
+
+	// Builtins.
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, ok := s.info.ObjectOf(id).(*types.Builtin); ok {
+			switch b.Name() {
+			case "append":
+				s.report(call.Pos(), "append may grow its backing array")
+			case "make":
+				s.report(call.Pos(), "make allocates")
+			case "new":
+				s.report(call.Pos(), "new allocates")
+			}
+			return
+		}
+	}
+
+	// fmt.* — formatting always allocates.
+	if fn := calleeFunc(s.info, fun); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		s.report(call.Pos(), "fmt."+fn.Name()+" allocates")
+		return
+	}
+
+	// Interface boxing at the call boundary.
+	sig, ok := s.info.Types[call.Fun].Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	if sig.Variadic() && call.Ellipsis == token.NoPos {
+		fixed := params.Len() - 1
+		elem := params.At(fixed).Type().(*types.Slice).Elem()
+		if types.IsInterface(elem) && len(call.Args) > fixed {
+			s.report(call.Pos(), "variadic interface call allocates its argument slice")
+			return
+		}
+	}
+	for i, arg := range call.Args {
+		if i >= params.Len() || (sig.Variadic() && i >= params.Len()-1) {
+			break
+		}
+		if s.boxes(params.At(i).Type(), arg) {
+			s.report(arg.Pos(), "interface boxing: non-pointer value converted to interface")
+			return
+		}
+	}
+}
+
+func (s *scanner) checkConversion(call *ast.CallExpr, to types.Type) {
+	if len(call.Args) != 1 {
+		return
+	}
+	from := s.info.TypeOf(call.Args[0])
+	if from == nil {
+		return
+	}
+	if tv, ok := s.info.Types[call]; ok && tv.Value != nil {
+		return // constant conversion, folded at compile time
+	}
+	switch {
+	case isString(to) && (isByteOrRuneSlice(from) || isInteger(from)):
+		s.report(call.Pos(), "conversion to string allocates")
+	case isByteOrRuneSlice(to) && isString(from):
+		s.report(call.Pos(), "string-to-slice conversion allocates")
+	case types.IsInterface(to.Underlying()) && !types.IsInterface(from.Underlying()) && !pointerShaped(from):
+		s.report(call.Pos(), "interface boxing: non-pointer value converted to interface")
+	}
+}
+
+func (s *scanner) checkComposite(lit *ast.CompositeLit) {
+	t := s.info.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Map:
+		s.report(lit.Pos(), "map literal allocates")
+	case *types.Slice:
+		s.report(lit.Pos(), "slice literal allocates")
+	}
+}
+
+func (s *scanner) checkAssign(as *ast.AssignStmt) {
+	if as.Tok == token.ADD_ASSIGN && len(as.Lhs) == 1 && s.isString(as.Lhs[0]) {
+		s.report(as.Pos(), "string concatenation allocates")
+		return
+	}
+	for i, lhs := range as.Lhs {
+		if i >= len(as.Rhs) {
+			break
+		}
+		lt := s.info.TypeOf(lhs)
+		if lt == nil {
+			continue
+		}
+		if s.boxes(lt, as.Rhs[i]) {
+			s.report(as.Rhs[i].Pos(), "interface boxing: non-pointer value converted to interface")
+		}
+	}
+}
+
+func (s *scanner) checkValueSpec(vs *ast.ValueSpec) {
+	if vs.Type == nil {
+		return
+	}
+	dt := s.info.TypeOf(vs.Type)
+	if dt == nil {
+		return
+	}
+	for _, v := range vs.Values {
+		if s.boxes(dt, v) {
+			s.report(v.Pos(), "interface boxing: non-pointer value converted to interface")
+		}
+	}
+}
+
+// boxes reports whether assigning expr to a destination of type dst is an
+// allocating interface conversion.
+func (s *scanner) boxes(dst types.Type, expr ast.Expr) bool {
+	if !types.IsInterface(dst.Underlying()) {
+		return false
+	}
+	et := s.info.TypeOf(expr)
+	if et == nil || types.IsInterface(et.Underlying()) || pointerShaped(et) {
+		return false
+	}
+	if tv, ok := s.info.Types[expr]; ok && tv.Value != nil && isString(et) {
+		return true // non-empty constant strings still box through a heap header
+	}
+	return true
+}
+
+func (s *scanner) isString(e ast.Expr) bool {
+	t := s.info.TypeOf(e)
+	return t != nil && isString(t)
+}
+
+func (s *scanner) isConst(e ast.Expr) bool {
+	tv, ok := s.info.Types[e]
+	return ok && tv.Value != nil
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isInteger(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+		b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// pointerShaped reports whether values of t fit an interface word without
+// allocating: pointers, maps, channels, funcs, unsafe pointers.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Chan, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer || u.Kind() == types.UntypedNil
+	}
+	return false
+}
+
+func calleeFunc(info *types.Info, fun ast.Expr) *types.Func {
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// shortName renders a function as it reads in the source: Partition,
+// (*Hypervisor).dispatch, (Dist).CloneInto.
+func shortName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return fn.Name()
+	}
+	recv := types.TypeString(sig.Recv().Type(), func(p *types.Package) string { return "" })
+	// TypeString with an empty qualifier leaves a leading dot for named
+	// types ("*.Hypervisor"); strip it.
+	out := make([]byte, 0, len(recv))
+	for i := 0; i < len(recv); i++ {
+		if recv[i] == '.' && (i == 0 || recv[i-1] == '*' || recv[i-1] == '[' || recv[i-1] == ' ') {
+			continue
+		}
+		out = append(out, recv[i])
+	}
+	return "(" + string(out) + ")." + fn.Name()
+}

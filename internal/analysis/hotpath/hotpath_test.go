@@ -1,0 +1,13 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"vprobe/internal/analysis/framework/analysistest"
+	"vprobe/internal/analysis/hotpath"
+)
+
+func TestHotPath(t *testing.T) {
+	analysistest.RunModule(t, analysistest.TestData(), hotpath.Analyzer,
+		"hotpath_hot", "hotpath_helper")
+}

@@ -1,0 +1,18 @@
+// Package hotpath_helper exercises cross-package reachability: Fill is
+// called from the annotated root in hotpath_hot, so its allocation must be
+// flagged even though this package declares no root of its own.
+package hotpath_helper
+
+// Fill is reached cross-package from the hot root.
+func Fill(dst []int, v int) []int {
+	return append(dst, v) // want `append may grow its backing array`
+}
+
+// Cold is never reached from a root; its allocations are nobody's business.
+func Cold() []int {
+	out := make([]int, 8)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

@@ -1,0 +1,81 @@
+// Package hotpath_hot holds the annotated roots: direct calls, interface
+// dispatch resolved by class-hierarchy analysis, panic-path exemption, and
+// both the justified and the bare form of //vet:alloc.
+package hotpath_hot
+
+import (
+	"fmt"
+
+	"hotpath_helper"
+)
+
+// Policy models the xen.Policy shape: the root calls through the
+// interface, and every module implementation becomes reachable.
+type Policy interface {
+	Pick(n int) int
+}
+
+// RoundRobin is allocation-free: no diagnostics.
+type RoundRobin struct{ next int }
+
+func (r *RoundRobin) Pick(n int) int {
+	r.next++
+	if r.next >= n {
+		r.next = 0
+	}
+	return r.next
+}
+
+// Greedy allocates inside the dispatched method.
+type Greedy struct{}
+
+func (Greedy) Pick(n int) int {
+	order := make([]int, n) // want `make allocates`
+	_ = order
+	return 0
+}
+
+// Run is a quantum root.
+//
+//vprobe:hotpath
+func Run(p Policy, buf []int) int {
+	buf = hotpath_helper.Fill(buf, 1)
+	idx := p.Pick(len(buf))
+	if idx < 0 || idx >= len(buf) {
+		panic(fmt.Sprintf("pick out of range: %d", idx)) // crash path: exempt
+	}
+	return buf[idx]
+}
+
+// Audit is a second root covering the remaining construct set.
+//
+//vprobe:hotpath
+func Audit(id int, names []string) string {
+	s := ""
+	for _, n := range names {
+		s += n // want `string concatenation allocates`
+	}
+	m := map[string]int{} // want `map literal allocates`
+	_ = m
+	f := func() int { return id } // want `closure creation may allocate`
+	_ = f()
+	var v any = id // want `interface boxing: non-pointer value converted to interface`
+	_ = v
+	return fmt.Sprintf("audit %d", id) // want `fmt.Sprintf allocates`
+}
+
+// Warm carries a justified waiver: suppressed, no diagnostic.
+//
+//vprobe:hotpath
+func Warm(buf []int) []int {
+	//vet:alloc warmup growth only; steady state reuses the backing array
+	return append(buf, 0)
+}
+
+// Bare carries a waiver with no reason: that is itself a violation.
+//
+//vprobe:hotpath
+func Bare(buf []int) []int {
+	//vet:alloc
+	return append(buf, 0) // want `//vet:alloc requires a written reason`
+}

@@ -26,7 +26,8 @@ var Analyzer = &framework.Analyzer{
 	Name: "mapiter",
 	Doc: "flag map iterations that feed order-sensitive sinks without a " +
 		"deterministic sort (suppress with //vet:ordered)",
-	Run: run,
+	Run:        run,
+	Directives: []string{"ordered"},
 }
 
 // scopePrefixes are the packages the determinism contract covers: the

@@ -1,0 +1,19 @@
+// Package compilefix is the fixture compile layer: it consumes the spec
+// fields, which is rule 2 of the contract.
+package compilefix
+
+import "internal/spec"
+
+// Compile lowers a scenario; every field it touches counts as consumed.
+func Compile(s *spec.ScenarioV1) int {
+	n := s.VCPUs
+	if s.Debug {
+		n++
+	}
+	if s.Version != "" {
+		n++
+	}
+	n += int(s.Seed % 2)
+	n += s.Loose
+	return n
+}

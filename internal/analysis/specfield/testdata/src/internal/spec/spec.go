@@ -1,0 +1,37 @@
+// Package spec is the fixture counterpart of internal/spec: exported wire
+// structs whose fields must be tagged, consumed, and validated.
+package spec
+
+import "errors"
+
+// ScenarioV1 is a versioned wire struct.
+type ScenarioV1 struct {
+	Version string `json:"version"`
+	VCPUs   int    `json:"vcpus"`
+	Seed    int64  `json:"seed"` //vet:spec any int64 is a valid seed; nothing to validate
+	Debug   bool   `json:"debug"`
+	NoTag   int    // want `spec field ScenarioV1.NoTag has no json tag`
+	Orphan  int    `json:"orphan"` // want `spec field ScenarioV1.Orphan \(json "orphan"\) is never read outside internal/spec`
+	Loose   int    `json:"loose"`  // want `spec field ScenarioV1.Loose \(json "loose"\) is neither validated nor defaulted`
+}
+
+// Validate checks the invariants; the field paths in its messages use the
+// json names.
+func (s *ScenarioV1) Validate() error {
+	if s.Version == "" {
+		return errors.New("version is required")
+	}
+	if s.VCPUs <= 0 {
+		return errors.New("vcpus must be positive")
+	}
+	return nil
+}
+
+// The reserved-name note mentions "orphan" so only the consumption rule
+// fires for it.
+var _ = "orphan is reserved for the v2 schema"
+
+// unexported structs are outside the wire contract.
+type scratch struct {
+	NoTagEither int
+}

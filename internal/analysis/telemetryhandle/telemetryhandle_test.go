@@ -1,0 +1,13 @@
+package telemetryhandle_test
+
+import (
+	"testing"
+
+	"vprobe/internal/analysis/framework/analysistest"
+	"vprobe/internal/analysis/telemetryhandle"
+)
+
+func TestTelemetryHandle(t *testing.T) {
+	analysistest.RunModule(t, analysistest.TestData(), telemetryhandle.Analyzer,
+		"handles", "telemetry")
+}

@@ -1,0 +1,64 @@
+// Package handles exercises the nil-guarded pre-bound handle pattern:
+// guarded uses, early-return guards, compound conditions, an unguarded
+// violation, and a waived site.
+package handles
+
+import "telemetry"
+
+// Handles is a pre-bound handle set (has *telemetry.Counter fields).
+type Handles struct {
+	Dispatches *telemetry.Counter
+	Steals     *telemetry.Counter
+	Load       *telemetry.Gauge
+}
+
+// HV owns an optional handle set, nil when telemetry is not attached.
+type HV struct {
+	Tele *Handles
+	n    int
+}
+
+// Quantum is the hot root.
+//
+//vprobe:hotpath
+func (v *HV) Quantum() {
+	if v.Tele != nil {
+		v.Tele.Dispatches.Inc()
+	}
+	v.helper()
+	v.compound()
+	v.bad()
+	v.waived()
+}
+
+// helper uses the early-return guard form.
+func (v *HV) helper() {
+	if v.Tele == nil {
+		return
+	}
+	v.Tele.Steals.Inc()
+}
+
+// compound guards inside a && condition.
+func (v *HV) compound() {
+	if v.Tele != nil && v.n > 0 {
+		v.Tele.Load.Set(float64(v.n))
+	}
+}
+
+// bad dereferences the possibly-nil handle set with no guard.
+func (v *HV) bad() {
+	v.Tele.Dispatches.Inc() // want `telemetry handle field Dispatches read through possibly-nil v.Tele`
+}
+
+// waived carries a written justification.
+func (v *HV) waived() {
+	//vet:handle Quantum only runs after attach, which always binds Tele
+	v.Tele.Dispatches.Inc()
+}
+
+// Cold is not reachable from any root: unguarded use is fine off the hot
+// path.
+func Cold(v *HV) {
+	v.Tele.Dispatches.Inc()
+}

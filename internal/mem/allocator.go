@@ -183,9 +183,11 @@ func FirstTouch(vmDist Dist, startNode numa.NodeID, locality float64) Dist {
 // nil but must not alias vmDist. The arithmetic matches FirstTouch exactly
 // (same blend and renormalisation), so swapping one for the other cannot
 // change simulation output.
+//
+//vprobe:hotpath
 func FirstTouchInto(dst, vmDist Dist, startNode numa.NodeID, locality float64) Dist {
 	if cap(dst) < len(vmDist) {
-		dst = make(Dist, len(vmDist))
+		dst = make(Dist, len(vmDist)) //vet:alloc only when the caller-owned buffer is too small; steady state passes pre-grown vectors
 	}
 	dst = dst[:len(vmDist)]
 	w := math.Max(0, math.Min(1, locality))

@@ -62,9 +62,11 @@ func (d Dist) Clone() Dist {
 // CloneInto copies d into dst, reusing dst's storage when it has the
 // capacity, and returns the result. dst may be nil (a fresh vector is
 // allocated) but must not alias d unless identical.
+//
+//vprobe:hotpath
 func (d Dist) CloneInto(dst Dist) Dist {
 	if cap(dst) < len(d) {
-		dst = make(Dist, len(d))
+		dst = make(Dist, len(d)) //vet:alloc only when the caller-owned buffer is too small; steady state passes pre-grown vectors
 	}
 	dst = dst[:len(d)]
 	copy(dst, d)

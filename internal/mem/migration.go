@@ -34,6 +34,8 @@ func DefaultMigrator() *Migrator {
 // Step advances migration for one application by elapsed time: it shifts
 // pages toward node and returns the CPU cycles consumed doing so.
 // footprintMB scales the cost. A nil Migrator performs nothing.
+//
+//vprobe:hotpath
 func (m *Migrator) Step(d Dist, node numa.NodeID, elapsed sim.Duration, footprintMB int64) (cycles float64) {
 	if m == nil || elapsed <= 0 {
 		return 0

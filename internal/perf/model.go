@@ -216,10 +216,12 @@ func (s *System) Execute(r Request) Outcome {
 // slice is reused when it has the capacity, so a VCPU that keeps one
 // Outcome across quanta makes the evaluation allocation-free. All other
 // fields of out are overwritten.
+//
+//vprobe:hotpath
 func (s *System) ExecuteInto(out *Outcome, r Request) {
 	node := out.Node
 	if cap(node) < s.top.NumNodes() {
-		node = make([]float64, s.top.NumNodes())
+		node = make([]float64, s.top.NumNodes()) //vet:alloc only when the caller-owned Outcome is too small; VCPUs keep one across quanta
 	}
 	node = node[:s.top.NumNodes()]
 	for i := range node {
@@ -261,6 +263,7 @@ func (s *System) ExecuteInto(out *Outcome, r Request) {
 	if r.Profile.LatencyExposure > 0 {
 		mlp = r.Profile.LatencyExposure
 	}
+	//vet:alloc non-escaping helper: called twice below and never stored, so it stays on the stack (escape baseline agrees)
 	cpiAt := func(miss float64) float64 {
 		hit := rpi * (1 - miss) * s.top.LLCHitLatencyCycles() * s.params.HitVisible
 		mm := rpi * miss * memLat * mlp

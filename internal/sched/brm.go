@@ -147,7 +147,7 @@ func (s *BRM) PickNext(h *xen.Hypervisor, p *xen.PCPU) *xen.VCPU {
 			if !idle && v.Priority != xen.PrioUnder {
 				continue
 			}
-			cands = append(cands, brmCand{v, q})
+			cands = append(cands, brmCand{v, q}) //vet:alloc s.cands is reused; grows to population size during warmup
 		}
 	}
 	s.cands = cands
@@ -160,7 +160,7 @@ func (s *BRM) PickNext(h *xen.Hypervisor, p *xen.PCPU) *xen.VCPU {
 	} else {
 		weights := s.weights[:0]
 		for _, c := range cands {
-			weights = append(weights, 1/(0.05+s.penaltyOn(h, c.v, p.Node)))
+			weights = append(weights, 1/(0.05+s.penaltyOn(h, c.v, p.Node))) //vet:alloc s.weights is reused; grows to candidate count during warmup
 		}
 		s.weights = weights
 		idx = h.RNG.Pick(weights)

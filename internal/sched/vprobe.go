@@ -98,12 +98,14 @@ func (s *VProbe) Period() sim.Duration { return s.SamplePeriod }
 
 // OnPeriod implements xen.Policy: sample all VCPUs, optionally adapt
 // bounds, and run the periodical partitioning.
+//
+//vprobe:hotpath
 func (s *VProbe) OnPeriod(h *xen.Hypervisor) {
 	stats := h.SampleAll(s.Analyzer)
 	if s.Dynamic != nil {
-		ps := make([]float64, 0, len(stats))
+		ps := make([]float64, 0, len(stats)) //vet:alloc per-period pressure vector; OnPeriod cadence is 1s simulated
 		for _, st := range stats {
-			ps = append(ps, st.Pressure)
+			ps = append(ps, st.Pressure) //vet:alloc capacity pre-sized to len(stats) above
 		}
 		s.Dynamic.Observe(ps)
 		s.Analyzer.Bounds = s.Dynamic.Current()

@@ -120,7 +120,7 @@ func (e *Engine) alloc() *Event {
 		e.free = e.free[:n-1]
 		return ev
 	}
-	return &Event{}
+	return &Event{} //vet:alloc pool warmup: only when the free list is empty; steady state recycles released events
 }
 
 // release recycles a popped event. The callback reference is dropped
@@ -133,7 +133,7 @@ func (e *Engine) release(ev *Event) {
 		return
 	}
 	ev.fire = nil
-	e.free = append(e.free, ev)
+	e.free = append(e.free, ev) //vet:alloc free list grows to peak in-flight events during warmup, then flattens
 }
 
 // ErrPastEvent is returned by ScheduleAt when the requested time precedes
@@ -314,6 +314,10 @@ func (e *Engine) RunContext(ctx context.Context) (uint64, error) {
 	return e.run(ctx)
 }
 
+// run is the event loop proper: the innermost steady-state code in the
+// repo.
+//
+//vprobe:hotpath
 func (e *Engine) run(ctx context.Context) (uint64, error) {
 	start := e.fired
 	e.stopped = false
@@ -367,6 +371,9 @@ func (e *Engine) RunUntilContext(ctx context.Context, t Time) (uint64, error) {
 	return e.runUntil(ctx, t)
 }
 
+// runUntil is run bounded by a horizon override.
+//
+//vprobe:hotpath
 func (e *Engine) runUntil(ctx context.Context, t Time) (uint64, error) {
 	prev := e.horizon
 	e.SetHorizon(t)

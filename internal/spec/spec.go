@@ -119,6 +119,7 @@ type VMV1 struct {
 // plain-data subset of vprobe.Config plus the VM population and horizon.
 type ScenarioV1 struct {
 	// Version is the schema version; empty means VersionV1.
+	//vet:spec version dispatch happens inside spec (Normalize/Validate); the compile layer only ever sees validated v1 values
 	Version string `json:"version"`
 	// Scheduler is the policy under test (default "credit").
 	Scheduler string `json:"scheduler,omitempty"`
@@ -143,6 +144,7 @@ type ScenarioV1 struct {
 // plain-data subset of vprobe.ClusterConfig.
 type ClusterV1 struct {
 	// Version is the schema version; empty means VersionV1.
+	//vet:spec version dispatch happens inside spec (Normalize/Validate); the compile layer only ever sees validated v1 values
 	Version string `json:"version"`
 	// Hosts is the number of simulated hosts (default 4).
 	Hosts int `json:"hosts,omitempty"`

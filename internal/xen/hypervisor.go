@@ -137,12 +137,13 @@ func (h *Hypervisor) emit(kind EventKind, vcpu VCPUID, cpu numa.CPUID,
 		return
 	}
 	h.EventFn(Event{
-		At:     h.Engine.Now(),
-		Kind:   kind,
-		VCPU:   vcpu,
-		CPU:    cpu,
-		Node:   node,
-		App:    app,
+		At:   h.Engine.Now(),
+		Kind: kind,
+		VCPU: vcpu,
+		CPU:  cpu,
+		Node: node,
+		App:  app,
+		//vet:alloc formatting happens only past the EventFn nil check: tracing is opt-in and off on the benchmarked path
 		Detail: fmt.Sprintf(format, args...),
 	})
 }
@@ -382,6 +383,10 @@ func (h *Hypervisor) ActivateDomain(d *Domain) error {
 	return nil
 }
 
+// accountCredits is the 30ms credit-accounting tick, a per-quantum root
+// of the allocation-free contract.
+//
+//vprobe:hotpath
 func (h *Hypervisor) accountCredits() {
 	active := h.ActiveVCPUs()
 	if active == 0 {
@@ -455,6 +460,8 @@ func (h *Hypervisor) repickRunning() {
 }
 
 // schedule dispatches the next VCPU on p if p is idle.
+//
+//vprobe:hotpath
 func (h *Hypervisor) schedule(p *PCPU) {
 	if p.Current != nil {
 		return
@@ -550,6 +557,7 @@ func (h *Hypervisor) dispatch(p *PCPU, v *VCPU) {
 		// Guarded at the call site, not just inside emit: boxing the
 		// variadic args allocates before emit's own nil check runs, and
 		// dispatch is the hot path that must stay allocation-free.
+		//vet:alloc args box only on the traced path; the call-site guard keeps the untraced quantum allocation-free
 		h.emit(EventDispatch, v.ID, p.ID, p.Node, v.App.Name,
 			"pcpu%d run vcpu%d (%s) %.1fms", p.ID, v.ID, v.App.Name, out.Used.Millis())
 	}
@@ -610,6 +618,10 @@ func (h *Hypervisor) coRunnerRPTI(p *PCPU, v *VCPU) float64 {
 	return sum
 }
 
+// endQuantum retires the quantum in flight on p: execution accounting,
+// preemption bookkeeping, and the next dispatch.
+//
+//vprobe:hotpath
 func (h *Hypervisor) endQuantum(p *PCPU) {
 	if p.flight.v == nil || p.Current != p.flight.v {
 		return
@@ -669,8 +681,13 @@ func (h *Hypervisor) endQuantum(p *PCPU) {
 		v.FinishTime = h.Engine.Now()
 		v.State = StateBlocked
 		v.OnPCPU = -1
-		h.emit(EventAppFinish, v.ID, p.ID, p.Node, v.App.Name,
-			"vcpu%d (%s) finished", v.ID, v.App.Name)
+		if h.EventFn != nil {
+			// Call-site guard like dispatch's: arg boxing must not
+			// allocate when no listener is attached.
+			//vet:alloc args box only on the traced path, once per app lifetime
+			h.emit(EventAppFinish, v.ID, p.ID, p.Node, v.App.Name,
+				"vcpu%d (%s) finished", v.ID, v.App.Name)
+		}
 		h.checkWatch()
 	case !preempted && v.App.BlockProb > 0 && h.RNG.Float64() < v.App.BlockProb:
 		// The guest blocks (timer, I/O, barrier, network wait). The
@@ -685,6 +702,7 @@ func (h *Hypervisor) endQuantum(p *PCPU) {
 		if h.EventFn != nil {
 			// Call-site guard like dispatch's: arg boxing must not
 			// allocate on the untraced hot path.
+			//vet:alloc args box only on the traced path; the call-site guard keeps the untraced quantum allocation-free
 			h.emit(EventBlock, v.ID, p.ID, p.Node, v.App.Name,
 				"vcpu%d (%s) blocks %v", v.ID, v.App.Name, wait)
 		}
@@ -713,6 +731,8 @@ func (h *Hypervisor) endQuantum(p *PCPU) {
 // Xen's BOOST priority: it preempts a lower-priority runner on the target
 // PCPU immediately, which keeps short housekeeping bursts from languishing
 // in queues.
+//
+//vprobe:hotpath
 func (h *Hypervisor) wake(v *VCPU, last *PCPU) {
 	if v.Done || v.paused || v.State != StateBlocked || v.App == nil {
 		return

@@ -63,7 +63,7 @@ func (p *PCPU) Enqueue(v *VCPU) {
 			break
 		}
 	}
-	p.queue = append(p.queue, nil)
+	p.queue = append(p.queue, nil) //vet:alloc queue grows to resident VCPU count during warmup, then slots are reused
 	copy(p.queue[pos+1:], p.queue[pos:])
 	p.queue[pos] = v
 	p.Workload++

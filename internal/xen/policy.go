@@ -110,7 +110,7 @@ func (h *Hypervisor) CreditSteal(p *PCPU, anyPriority bool) *VCPU {
 // reused on the next call; callers must consume them before then.
 func (h *Hypervisor) QueueViews(except *PCPU, underOnly bool) map[numa.NodeID][]core.QueueView {
 	if h.views == nil {
-		h.views = make(map[numa.NodeID][]core.QueueView, h.Top.NumNodes())
+		h.views = make(map[numa.NodeID][]core.QueueView, h.Top.NumNodes()) //vet:alloc built once on first use, then reused every call
 	}
 	// Reset by node id, not by ranging the map: map iteration order is
 	// nondeterministic and this path feeds the scheduler.
@@ -137,6 +137,7 @@ func (h *Hypervisor) QueueViews(except *PCPU, underOnly bool) map[numa.NodeID][]
 			if v.AssignedNode != numa.NoNode && except != nil && v.AssignedNode != except.Node {
 				continue
 			}
+			//vet:alloc q.stealScratch is reused; grows to queue depth during warmup
 			run = append(run, core.RunnableVCPU{
 				VCPU:     int(v.ID),
 				Pressure: v.LLCPressure,
@@ -144,7 +145,7 @@ func (h *Hypervisor) QueueViews(except *PCPU, underOnly bool) map[numa.NodeID][]
 		}
 		q.stealScratch = run
 		view.Runnable = run
-		h.views[q.Node] = append(h.views[q.Node], view)
+		h.views[q.Node] = append(h.views[q.Node], view) //vet:alloc per-node slices grow to PCPU count during warmup, then reused
 	}
 	return h.views
 }
@@ -161,7 +162,7 @@ func (h *Hypervisor) NUMAAwareSteal(p *PCPU, underOnly, localOnly bool) *VCPU {
 		// The visit order depends only on the (immutable) topology; compute
 		// it once per node and cache it.
 		if h.nodeOrders == nil {
-			h.nodeOrders = make([][]numa.NodeID, h.Top.NumNodes())
+			h.nodeOrders = make([][]numa.NodeID, h.Top.NumNodes()) //vet:alloc topology-sized cache built once on first steal
 		}
 		order = h.nodeOrders[p.Node]
 		if order == nil {
@@ -210,7 +211,7 @@ func (h *Hypervisor) SampleAll(an *core.Analyzer) []core.Stat {
 		v.Type = s.Type
 		v.AddOverhead(h.Config.PMUUpdateMicros*cpm, cpm)
 		h.SampleOverhead += sim.Duration(h.Config.PMUUpdateMicros)
-		stats = append(stats, s)
+		stats = append(stats, s) //vet:alloc h.statScratch is reused; grows to VCPU count during warmup
 	}
 	h.statScratch = stats
 	if h.Tele != nil {
@@ -233,6 +234,7 @@ func (h *Hypervisor) ApplyPartition(as []core.Assignment) {
 	if len(h.PCPUs) > 0 && h.PCPUs[0].Current != nil {
 		h.PCPUs[0].Current.AddOverhead(cost*cpm, cpm)
 	}
+	//vet:alloc per-period partition application (1s simulated cadence); part of Algorithm 1's tracked per-period cost
 	assigned := make(map[VCPUID]bool, len(as))
 	for _, a := range as {
 		v := h.vcpuByID[VCPUID(a.VCPU)]
