@@ -27,6 +27,17 @@ const (
 	PolicyNUMA Policy = "numa"
 )
 
+// knownArrivalProcess reports whether the name is a registered arrival
+// generator.
+func knownArrivalProcess(p ArrivalProcess) bool {
+	for _, n := range cluster.ArrivalProcesses() {
+		if n == string(p) {
+			return true
+		}
+	}
+	return false
+}
+
 // Policies returns all registered placement policies, sorted.
 func Policies() []Policy {
 	names := cluster.Policies()
@@ -37,9 +48,71 @@ func Policies() []Policy {
 	return out
 }
 
+// ArrivalProcess names a cluster arrival generator (the process that
+// decides when the next VM request enters admission).
+type ArrivalProcess string
+
+// Built-in arrival processes.
+const (
+	// ArrivalPoisson draws i.i.d. exponential gaps at ArrivalsPerSecond —
+	// the classic memoryless open-loop load (the default).
+	ArrivalPoisson ArrivalProcess = "poisson"
+	// ArrivalDiurnal modulates the Poisson rate with a sinusoid: the rate
+	// breathes between rate*(1-A) and rate*(1+A) over DiurnalPeriod.
+	ArrivalDiurnal ArrivalProcess = "diurnal"
+	// ArrivalFlash multiplies the rate by FlashFactor inside the
+	// [FlashAt, FlashAt+FlashDuration) window — a flash crowd.
+	ArrivalFlash ArrivalProcess = "flash"
+	// ArrivalReplay replays the recorded stream in ClusterConfig.
+	// ArrivalTrace instead of drawing arrivals.
+	ArrivalReplay ArrivalProcess = "trace"
+)
+
+// ArrivalProcesses returns all arrival processes, sorted by name.
+func ArrivalProcesses() []ArrivalProcess {
+	names := cluster.ArrivalProcesses()
+	out := make([]ArrivalProcess, len(names))
+	for i, n := range names {
+		out[i] = ArrivalProcess(n)
+	}
+	return out
+}
+
+// ClusterArrival is one recorded VM arrival of a replayable trace: when
+// the request arrives, the VM's shape and priority, how long it lives
+// once placed, and what runs on its VCPUs. Consecutive arrivals sharing
+// a non-empty Group and the same At form one gang. Profiles entries are
+// workload references — a catalog name ("mcf"), "memcached:<clients>",
+// or "redis:<connections>"; VCPUs beyond the list idle.
+type ClusterArrival struct {
+	At       time.Duration
+	MemoryMB int64
+	VCPUs    int
+	// Priority is the admission class: 0 best-effort, 1 standard,
+	// 2 critical.
+	Priority int
+	Group    string
+	Lifetime time.Duration
+	Profiles []string
+}
+
+// internal lowers the public record onto the cluster trace schema.
+func (a ClusterArrival) internal() cluster.TraceArrival {
+	return cluster.TraceArrival{
+		AtUS:     a.At.Microseconds(),
+		MemoryMB: a.MemoryMB,
+		VCPUs:    a.VCPUs,
+		Priority: a.Priority,
+		Group:    a.Group,
+		LifeUS:   a.Lifetime.Microseconds(),
+		Profiles: append([]string(nil), a.Profiles...),
+	}
+}
+
 // ClusterConfig parameterises RunCluster. Zero values select defaults
 // (4 hosts, TopologyXeonE5620, SchedulerCredit, PolicyNUMA, seed 1,
-// 0.35 arrivals/s, 60 s mean lifetime, 300 s horizon, mixed workloads).
+// Poisson arrivals at 0.35/s, 60 s mean lifetime, 300 s horizon, mixed
+// workloads).
 type ClusterConfig struct {
 	// Hosts is the number of simulated hosts (default 4).
 	Hosts int
@@ -51,8 +124,35 @@ type ClusterConfig struct {
 	Policy Policy
 	// Seed makes runs reproducible (default 1).
 	Seed uint64
-	// ArrivalsPerSecond is the Poisson VM arrival rate (default 0.35).
+	// ArrivalsPerSecond is the base VM arrival rate (default 0.35). The
+	// non-homogeneous processes modulate it; trace replay ignores it.
 	ArrivalsPerSecond float64
+	// Arrival selects the arrival generator (default ArrivalPoisson).
+	Arrival ArrivalProcess
+	// DiurnalPeriod is the ArrivalDiurnal sinusoid's period (default: the
+	// horizon — one full day-night cycle per run). DiurnalAmplitude in
+	// [0, 1] sets the swing around ArrivalsPerSecond (default 0.6).
+	DiurnalPeriod    time.Duration
+	DiurnalAmplitude float64
+	// FlashAt starts an ArrivalFlash window of FlashDuration during which
+	// the rate multiplies by FlashFactor (defaults: horizon/3, horizon/10,
+	// 8).
+	FlashAt       time.Duration
+	FlashDuration time.Duration
+	FlashFactor   float64
+	// ArrivalTrace is the recorded stream ArrivalReplay replays, sorted
+	// by At.
+	ArrivalTrace []ClusterArrival
+	// ArrivalSink, when non-nil, receives every materialized arrival as a
+	// replayable ClusterArrival — recording a generated run for later
+	// ArrivalReplay. The stream depends only on the seed and the arrival
+	// configuration, never on placement mechanisms or worker count.
+	ArrivalSink func(ClusterArrival)
+	// PlaceCheck cross-validates every placement decision of the
+	// incremental engine against a full rescan of fresh host views and
+	// fails the run on the first divergence. Purely diagnostic: it never
+	// changes results, only costs time.
+	PlaceCheck bool
 	// MeanLifetime is the mean exponential VM lifetime (default 60s).
 	MeanLifetime time.Duration
 	// Horizon is the simulated duration (default 300s).
@@ -175,6 +275,9 @@ func RunCluster(ctx context.Context, cfg ClusterConfig) (*ClusterReport, error) 
 			return nil, fmt.Errorf("%w: %q", ErrUnknownPolicy, cfg.Policy)
 		}
 	}
+	if cfg.Arrival != "" && !knownArrivalProcess(cfg.Arrival) {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownArrivalProcess, cfg.Arrival)
+	}
 	ccfg := cluster.Config{
 		Hosts:             cfg.Hosts,
 		Topology:          string(cfg.Topology),
@@ -193,6 +296,34 @@ func RunCluster(ctx context.Context, cfg ClusterConfig) (*ClusterReport, error) 
 		GangSize:          cfg.GangSize,
 		Backfill:          cfg.Backfill,
 		DeschedulePeriod:  sim.Duration(cfg.DeschedulePeriod.Microseconds()),
+		PlaceCheck:        cfg.PlaceCheck,
+		Arrival: cluster.ArrivalConfig{
+			Process:          string(cfg.Arrival),
+			DiurnalPeriod:    sim.Duration(cfg.DiurnalPeriod.Microseconds()),
+			DiurnalAmplitude: cfg.DiurnalAmplitude,
+			FlashAt:          sim.Duration(cfg.FlashAt.Microseconds()),
+			FlashDuration:    sim.Duration(cfg.FlashDuration.Microseconds()),
+			FlashFactor:      cfg.FlashFactor,
+		},
+	}
+	if len(cfg.ArrivalTrace) > 0 {
+		ccfg.Arrival.Trace = make([]cluster.TraceArrival, len(cfg.ArrivalTrace))
+		for i, rec := range cfg.ArrivalTrace {
+			ccfg.Arrival.Trace[i] = rec.internal()
+		}
+	}
+	if sink := cfg.ArrivalSink; sink != nil {
+		ccfg.ArrivalSink = func(rec cluster.TraceArrival) {
+			sink(ClusterArrival{
+				At:       time.Duration(rec.AtUS) * time.Microsecond,
+				MemoryMB: rec.MemoryMB,
+				VCPUs:    rec.VCPUs,
+				Priority: rec.Priority,
+				Group:    rec.Group,
+				Lifetime: time.Duration(rec.LifeUS) * time.Microsecond,
+				Profiles: rec.Profiles,
+			})
+		}
 	}
 	if cfg.RebalancePeriod < 0 {
 		ccfg.RebalancePeriod = -1

@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
 
 func snap(label string, benches map[string]Metrics) Snapshot {
 	return Snapshot{Label: label, GoVersion: "go1.22", Benchmarks: benches}
@@ -64,6 +68,27 @@ func TestRunCheckNewBenchmarkAndEmptyHistory(t *testing.T) {
 	base := snap("baseline", map[string]Metrics{"BenchmarkOld": {NsPerOp: 10}})
 	if code := runCheck([]Snapshot{base}, fresh, "BENCH.json"); code != 0 {
 		t.Errorf("exit = %d, want 0: a benchmark without a baseline is noted, not failed", code)
+	}
+}
+
+func TestParseBenchmarksAggregatesRepetitions(t *testing.T) {
+	// -count=3 output: min ns/op wins (noise is one-sided), max allocs/op
+	// wins (one clean repetition must not hide an allocating one).
+	out := `BenchmarkHot-8   100   540.0 ns/op   0 B/op   0 allocs/op
+BenchmarkHot-8   100   410.0 ns/op   16 B/op   1 allocs/op
+BenchmarkHot-8   100   480.0 ns/op   0 B/op   0 allocs/op
+BenchmarkCold 1000 52000 ns/op
+PASS`
+	got := map[string]Metrics{}
+	if err := parseBenchmarks(strings.NewReader(out), got); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]Metrics{
+		"BenchmarkHot":  {NsPerOp: 410, BytesPerOp: 16, AllocsPerOp: 1},
+		"BenchmarkCold": {NsPerOp: 52000},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("parsed %+v, want %+v", got, want)
 	}
 }
 

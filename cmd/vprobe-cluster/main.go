@@ -11,6 +11,10 @@
 //	               [-llc-limit f] [-remote-limit f] [-trace]
 //	               [-preempt] [-gang] [-gang-fraction f] [-gang-size n]
 //	               [-backfill] [-deschedule d]
+//	               [-arrival-process name] [-diurnal-period d]
+//	               [-diurnal-amplitude f] [-flash-at d] [-flash-duration d]
+//	               [-flash-factor f] [-arrivals-in file.jsonl]
+//	               [-arrivals-out file.jsonl] [-place-check]
 //	               [-metrics file.prom] [-metrics-every d]
 //
 // Durations are wall-style ("90s", "5m") and measured in simulated time.
@@ -18,9 +22,17 @@
 // with or without -metrics, which samples cluster-level and per-host
 // series in virtual time and exports Prometheus text exposition plus a
 // .jsonl time series next to it. SIGINT or SIGTERM cancels the run.
+//
+// The arrival process defaults to Poisson at -rate; -arrival-process
+// selects the diurnal sinusoid or flash-crowd generator, and
+// -arrivals-in replays a JSONL trace (as written by -arrivals-out).
+// -place-check cross-validates every placement decision of the
+// incremental engine against a full rescan and fails the run on the
+// first divergence.
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"fmt"
@@ -55,6 +67,16 @@ func main() {
 	gangSize := flag.Int("gang-size", 3, "VMs per gang")
 	backfill := flag.Bool("backfill", false, "backfill small VMs past a blocked queue head")
 	deschedule := flag.Duration("deschedule", 0, "descheduler (defrag) period (0 disables)")
+	arrivalProcess := flag.String("arrival-process", "poisson",
+		fmt.Sprintf("arrival generator (%s)", strings.Join(cluster.ArrivalProcesses(), ", ")))
+	diurnalPeriod := flag.Duration("diurnal-period", 0, "diurnal sinusoid period (0 = horizon)")
+	diurnalAmplitude := flag.Float64("diurnal-amplitude", 0, "diurnal rate swing [0,1] (0 = default 0.6)")
+	flashAt := flag.Duration("flash-at", 0, "flash-crowd start (0 = horizon/3)")
+	flashDuration := flag.Duration("flash-duration", 0, "flash-crowd length (0 = horizon/10)")
+	flashFactor := flag.Float64("flash-factor", 0, "flash-crowd rate multiplier (0 = default 8)")
+	arrivalsIn := flag.String("arrivals-in", "", "replay arrivals from this JSONL trace (sets -arrival-process trace)")
+	arrivalsOut := flag.String("arrivals-out", "", "export the run's arrivals to this JSONL trace")
+	placeCheck := flag.Bool("place-check", false, "cross-validate every placement against a full rescan")
 	llcLimit := flag.Float64("llc-limit", 50, "per-socket LLC pressure migration threshold")
 	remoteLimit := flag.Float64("remote-limit", 0.45, "remote-access ratio migration threshold")
 	trace := flag.Bool("trace", false, "stream cluster events to stderr")
@@ -91,6 +113,48 @@ func main() {
 		GangSize:          *gangSize,
 		Backfill:          *backfill,
 		DeschedulePeriod:  sim.Duration(deschedule.Microseconds()),
+		PlaceCheck:        *placeCheck,
+		Arrival: cluster.ArrivalConfig{
+			Process:          *arrivalProcess,
+			DiurnalPeriod:    sim.Duration(diurnalPeriod.Microseconds()),
+			DiurnalAmplitude: *diurnalAmplitude,
+			FlashAt:          sim.Duration(flashAt.Microseconds()),
+			FlashDuration:    sim.Duration(flashDuration.Microseconds()),
+			FlashFactor:      *flashFactor,
+		},
+	}
+	if *arrivalsIn != "" {
+		f, err := os.Open(*arrivalsIn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		recs, err := cluster.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		cfg.Arrival.Process = cluster.ArrivalTrace
+		cfg.Arrival.Trace = recs
+	}
+	if *arrivalsOut != "" {
+		f, err := os.Create(*arrivalsOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		enc := bufio.NewWriter(f)
+		defer func() {
+			enc.Flush()
+			f.Close()
+		}()
+		cfg.ArrivalSink = func(rec cluster.TraceArrival) {
+			if err := cluster.WriteTrace(enc, []cluster.TraceArrival{rec}); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
 	}
 	if *rebalance < 0 {
 		cfg.RebalancePeriod = -1

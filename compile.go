@@ -32,6 +32,9 @@ type (
 	VMSpec = spec.VMV1
 	// AppSpec is spec.AppV1: one application instance on a VMSpec.
 	AppSpec = spec.AppV1
+	// ArrivalSpec is spec.ArrivalV1: one recorded arrival of a
+	// ClusterSpec arrival trace.
+	ArrivalSpec = spec.ArrivalV1
 	// SpecDuration is spec.Duration: a JSON-friendly time.Duration that
 	// accepts Go duration strings and float seconds.
 	SpecDuration = spec.Duration
@@ -137,8 +140,26 @@ func CompileCluster(c spec.ClusterV1, opts CompileOptions) (ClusterConfig, error
 		GangSize:          n.GangSize,
 		Backfill:          n.Backfill,
 		DeschedulePeriod:  n.DeschedulePeriod.Std(),
+		Arrival:           ArrivalProcess(n.ArrivalProcess),
+		DiurnalPeriod:     n.DiurnalPeriod.Std(),
+		DiurnalAmplitude:  n.DiurnalAmplitude,
+		FlashAt:           n.FlashAt.Std(),
+		FlashDuration:     n.FlashDuration.Std(),
+		FlashFactor:       n.FlashFactor,
+		PlaceCheck:        n.PlaceCheck,
 		Events:            opts.Events,
 		Telemetry:         opts.Telemetry,
+	}
+	for _, rec := range n.ArrivalTrace {
+		cfg.ArrivalTrace = append(cfg.ArrivalTrace, ClusterArrival{
+			At:       rec.At.Std(),
+			MemoryMB: rec.MemoryMB,
+			VCPUs:    rec.VCPUs,
+			Priority: rec.Priority,
+			Group:    rec.Group,
+			Lifetime: rec.Lifetime.Std(),
+			Profiles: rec.Profiles,
+		})
 	}
 	return cfg, nil
 }

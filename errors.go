@@ -20,6 +20,9 @@ var (
 	// ErrUnknownPolicy: ClusterConfig.Policy names no registered placement
 	// policy.
 	ErrUnknownPolicy = errors.New("vprobe: unknown placement policy")
+	// ErrUnknownArrivalProcess: ClusterConfig.Arrival names no registered
+	// arrival generator.
+	ErrUnknownArrivalProcess = errors.New("vprobe: unknown arrival process")
 	// ErrTelemetryAttached: the Telemetry collector was already handed to
 	// another run; each collector records exactly one.
 	ErrTelemetryAttached = errors.New("vprobe: telemetry already attached to a run")

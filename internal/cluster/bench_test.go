@@ -1,0 +1,96 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"vprobe/internal/sim"
+)
+
+// The per-arrival placement benchmarks behind the incremental engine's
+// acceptance criterion: at 1024 hosts the cached path must beat the
+// pre-refactor full rescan by at least 10x. Both benchmarks measure the
+// same steady state — a loaded fleet where each arrival dirties exactly
+// the host it lands on — so the comparison isolates the decision cost,
+// not admission bookkeeping.
+
+// benchFleet builds an N-host cluster with every third host loaded, the
+// shape a live fleet settles into: most hosts clean, a few dirty per
+// decision.
+func benchFleet(b *testing.B, hosts int) *Cluster {
+	b.Helper()
+	c, err := New(Config{Hosts: hosts, Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < hosts; i += 3 {
+		spec := VMSpec{Name: fmt.Sprintf("seed%d", i), MemoryMB: 2048, VCPUs: 2}
+		hv, plan, err := c.place(&spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		vm := &VM{ID: len(c.vms), Spec: spec, life: 300 * sim.Second}
+		c.vms = append(c.vms, vm)
+		c.placeOn(vm, c.hosts[hv.Index], plan, 1)
+		if c.err != nil {
+			b.Fatal(c.err)
+		}
+	}
+	c.refreshViews()
+	return c
+}
+
+// benchSpecs rotates the generated mix's three VM shapes, so the score
+// cache serves all of its classes like a real run does.
+var benchSpecs = []VMSpec{
+	{MemoryMB: 1024, VCPUs: 1},
+	{MemoryMB: 2048, VCPUs: 2},
+	{MemoryMB: 4096, VCPUs: 4},
+}
+
+// BenchmarkClusterArrival measures one incremental placement decision:
+// refresh the (single) dirty view, rescore it, repair the class heap,
+// read the winner. Marking the winner dirty afterwards mirrors the
+// delta a real admission applies, keeping every iteration in steady
+// state without consuming capacity.
+func BenchmarkClusterArrival(b *testing.B) {
+	for _, hosts := range []int{64, 256, 1024} {
+		b.Run(fmt.Sprintf("hosts=%d", hosts), func(b *testing.B) {
+			c := benchFleet(b, hosts)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				spec := benchSpecs[i%len(benchSpecs)]
+				hv, _, err := c.place(&spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				c.markDirty(c.hosts[hv.Index])
+			}
+		})
+	}
+}
+
+// BenchmarkClusterArrivalFullRescan is the pre-refactor decision: build
+// a fresh view of every host and run the generic pipeline over all of
+// them. It exists as the speedup denominator for BenchmarkClusterArrival
+// and as a record of what O(hosts)-per-arrival costs.
+func BenchmarkClusterArrivalFullRescan(b *testing.B) {
+	for _, hosts := range []int{64, 256, 1024} {
+		b.Run(fmt.Sprintf("hosts=%d", hosts), func(b *testing.B) {
+			c := benchFleet(b, hosts)
+			views := make([]*HostView, len(c.hosts))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				spec := benchSpecs[i%len(benchSpecs)]
+				for j, ho := range c.hosts {
+					views[j] = ho.freshView(c.cfg.Overcommit)
+				}
+				if _, _, err := c.pipeline.Place(&spec, views); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

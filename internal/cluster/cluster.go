@@ -110,6 +110,17 @@ type Config struct {
 	// cluster-wide VCPU commitment fraction is at or below this limit
 	// (default 0.4).
 	DescheduleUtilLimit float64
+	// Arrival selects and parameterises the arrival generator (default:
+	// Poisson at ArrivalsPerSecond). See ArrivalConfig.
+	Arrival ArrivalConfig
+	// ArrivalSink, when set, receives one trace record per arriving VM,
+	// in arrival order — a run's offered load exported in the replayable
+	// JSONL schema. Attaching a sink never changes simulation results.
+	ArrivalSink func(TraceArrival)
+	// PlaceCheck cross-validates every incremental placement decision
+	// against a full rescan of freshly built views and stops the run on
+	// the first divergence (default off; costs O(hosts) per decision).
+	PlaceCheck bool
 	// Events, when set, receives cluster-scoped events.
 	Events func(Event)
 	// Telemetry, when set, collects the cluster's metric series:
@@ -182,6 +193,7 @@ func (c Config) normalized() Config {
 	if c.DescheduleUtilLimit <= 0 {
 		c.DescheduleUtilLimit = 0.4
 	}
+	c.Arrival = c.Arrival.normalized(c.Horizon)
 	return c
 }
 
@@ -205,6 +217,30 @@ type Cluster struct {
 	gangSeq int
 	// tel is the telemetry handle set (nil when telemetry is off).
 	tel *clusterTelemetry
+
+	// Incremental placement engine state (incremental.go, scorecache.go):
+	// viewSlice[i] points at hosts[i].view and never changes after New;
+	// refreshList holds the hosts that may need a view refresh; scores is
+	// the per-class score cache; oneView is the reusable single-host
+	// slice for restricted Place calls.
+	viewSlice   []*HostView
+	refreshList []*Host
+	scores      *scoreCache
+	oneView     [1]*HostView
+
+	// Per-tick scratch, reused per the caller-owned-scratch convention:
+	// rebalance's hot flags and cool-view list, evictVictim's alternative
+	// views, and the queue-drain order.
+	hotScratch   []bool
+	coolScratch  []*HostView
+	altScratch   []*HostView
+	orderScratch []*admitUnit
+
+	// traceProfiles[i] holds the pre-resolved workload profiles of
+	// Arrival.Trace[i], validated at New so replay cannot fail mid-run;
+	// traceNext is the next unscheduled trace record.
+	traceProfiles [][]*workload.Profile
+	traceNext     int
 
 	stats struct {
 		Arrivals      int
@@ -244,6 +280,9 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.Mix != "mixed" && cfg.Mix != "batch" && cfg.Mix != "server" {
 		return nil, fmt.Errorf("cluster: unknown mix %q (have mixed, batch, server)", cfg.Mix)
 	}
+	if err := cfg.Arrival.validate(); err != nil {
+		return nil, err
+	}
 	root := sim.NewRNG(cfg.Seed)
 	c := &Cluster{
 		cfg:      cfg,
@@ -260,6 +299,23 @@ func New(cfg Config) (*Cluster, error) {
 			return nil, err
 		}
 		c.hosts = append(c.hosts, ho)
+	}
+	c.scores = newScoreCache(c)
+	c.viewSlice = make([]*HostView, len(c.hosts))
+	for i, ho := range c.hosts {
+		ho.initView(cfg.Overcommit)
+		c.refreshHost(ho)
+		c.viewSlice[i] = &ho.view
+	}
+	if cfg.Arrival.Process == ArrivalTrace {
+		c.traceProfiles = make([][]*workload.Profile, len(cfg.Arrival.Trace))
+		for i, rec := range cfg.Arrival.Trace {
+			profs, err := resolveProfiles(rec.Profiles)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: arrival trace record %d: %w", i, err)
+			}
+			c.traceProfiles[i] = profs
+		}
 	}
 	if cfg.Telemetry != nil {
 		c.attachTelemetry(cfg.Telemetry)
@@ -281,7 +337,11 @@ func (c *Cluster) Run(ctx context.Context) (*Report, error) {
 	if c.cfg.Telemetry != nil {
 		c.cfg.Telemetry.Start(c.engine)
 	}
-	c.scheduleNextArrival()
+	if c.cfg.Arrival.Process == ArrivalTrace {
+		c.scheduleTraceArrivals()
+	} else {
+		c.scheduleNextArrival()
+	}
 	if c.cfg.RebalancePeriod > 0 {
 		c.engine.Every(c.cfg.RebalancePeriod, c.cfg.RebalancePeriod, "rebalance",
 			func(*sim.Engine) { c.rebalance() })
@@ -334,9 +394,10 @@ func (c *Cluster) sync() bool {
 	return c.syncHosts(c.engine.Now()) == nil
 }
 
-// scheduleNextArrival arms the Poisson arrival process.
+// scheduleNextArrival arms the next generated arrival (Poisson, diurnal,
+// or flash-crowd; trace replay schedules everything upfront instead).
 func (c *Cluster) scheduleNextArrival() {
-	wait := sim.Duration(c.arrRNG.Exp(1e6 / c.cfg.ArrivalsPerSecond))
+	wait := c.nextArrivalWait()
 	if wait < sim.Microsecond {
 		wait = sim.Microsecond
 	}
@@ -369,7 +430,7 @@ func (c *Cluster) onArrival() {
 	}
 	vms := make([]*VM, 0, members)
 	for i := 0; i < members; i++ {
-		spec := c.nextSpec()
+		spec, refs := c.nextSpec()
 		spec.Priority = prio
 		spec.Group = group
 		vm := &VM{
@@ -382,6 +443,7 @@ func (c *Cluster) onArrival() {
 		vms = append(vms, vm)
 		c.stats.Arrivals++
 		c.pstats[prio].Arrivals++
+		c.recordArrival(vm, refs)
 		c.emit(EventVMArrive, nil, vm, "vm %s arrives: %d MB, %d vcpus, %s%s",
 			spec.Name, spec.MemoryMB, spec.VCPUs, prio, gangTag(group))
 	}
@@ -442,8 +504,10 @@ var sizeClasses = []struct {
 // batchNames is the pool of batch workloads for the mixed and batch mixes.
 var batchNames = []string{"soplex", "mcf", "milc", "libquantum", "lu", "mg", "bt", "cg", "sp"}
 
-// nextSpec draws one VM request from the configured mix.
-func (c *Cluster) nextSpec() VMSpec {
+// nextSpec draws one VM request from the configured mix. refs names the
+// drawn workloads in the trace schema; it is built only when an
+// ArrivalSink wants the stream exported.
+func (c *Cluster) nextSpec() (VMSpec, []string) {
 	weights := make([]float64, len(sizeClasses))
 	for i, sc := range sizeClasses {
 		weights[i] = sc.weight
@@ -454,29 +518,34 @@ func (c *Cluster) nextSpec() VMSpec {
 		MemoryMB: sc.memMB,
 		VCPUs:    sc.vcpus,
 	}
-	for i := 0; i < sc.vcpus; i++ {
-		spec.Profiles = append(spec.Profiles, c.drawProfile())
+	var refs []string
+	if c.cfg.ArrivalSink != nil {
+		refs = make([]string, 0, sc.vcpus)
 	}
-	return spec
+	for i := 0; i < sc.vcpus; i++ {
+		ref := c.drawProfileRef()
+		spec.Profiles = append(spec.Profiles, ref.resolve())
+		if refs != nil {
+			refs = append(refs, ref.String())
+		}
+	}
+	return spec, refs
 }
 
-// drawProfile picks one per-VCPU workload according to the mix.
-func (c *Cluster) drawProfile() *workload.Profile {
-	server := func() *workload.Profile {
+// drawProfileRef picks one per-VCPU workload according to the mix. It
+// consumes exactly the RNG draws the pre-trace generator did, so adding
+// the exportable ref changed no byte of any existing run.
+func (c *Cluster) drawProfileRef() profileRef {
+	server := func() profileRef {
 		if c.mixRNG.Intn(2) == 0 {
 			conc := []int{16, 64, 128}[c.mixRNG.Intn(3)]
-			return workload.Memcached(conc)
+			return profileRef{kind: refMemcached, param: conc}
 		}
 		conns := []int{1000, 2000, 4000}[c.mixRNG.Intn(3)]
-		return workload.Redis(conns)
+		return profileRef{kind: refRedis, param: conns}
 	}
-	batch := func() *workload.Profile {
-		name := batchNames[c.mixRNG.Intn(len(batchNames))]
-		p, err := workload.ByName(name)
-		if err != nil {
-			panic(err) // batchNames is static and catalog-checked by tests
-		}
-		return p
+	batch := func() profileRef {
+		return profileRef{kind: refBatch, name: batchNames[c.mixRNG.Intn(len(batchNames))]}
 	}
 	switch c.cfg.Mix {
 	case "batch":
@@ -499,8 +568,9 @@ func (c *Cluster) admitDomain(vm *VM, ho *Host, plan MemPlan) (*xen.Domain, erro
 	dom, err := ho.H.AddDomain(vm.Spec.Name, vm.Spec.MemoryMB, vm.Spec.VCPUs,
 		plan.Policy, plan.Preferred)
 	if err != nil {
-		return nil, err
+		return nil, err // a failed AddDomain mutates nothing: no dirtying
 	}
+	c.markDirty(ho)
 	for i, p := range vm.Spec.Profiles {
 		if p == nil {
 			continue
@@ -544,6 +614,7 @@ func (c *Cluster) finalizePlacement(vm *VM, ho *Host, dom *xen.Domain, plan MemP
 	vm.placedAt = c.engine.Now()
 	ho.VMs = append(ho.VMs, vm)
 	ho.Placed++
+	c.markDirty(ho)
 	c.stats.Placed++
 	if !vm.admitted {
 		vm.admitted = true
@@ -591,6 +662,7 @@ func (c *Cluster) onDepart(vm *VM) {
 		}
 	}
 	vm.Host.removeVM(vm)
+	c.markDirty(vm.Host)
 	vm.state = stateDeparted
 	c.stats.Departed++
 	c.emit(EventVMDepart, vm.Host, vm, "vm %s departs %s after %v",
@@ -600,25 +672,31 @@ func (c *Cluster) onDepart(vm *VM) {
 }
 
 // rebalance scans for overloaded hosts and migrates at most one VM off
-// each per tick.
+// each per tick. It reads the cached views (refreshed for exactly the
+// dirty hosts) and reuses the per-tick scratch instead of rebuilding
+// views, hot, and coolViews every tick.
 func (c *Cluster) rebalance() {
 	if !c.sync() {
 		return
 	}
-	views := make([]*HostView, len(c.hosts))
-	hot := make([]bool, len(c.hosts))
+	views := c.liveViews()
+	if c.hotScratch == nil {
+		c.hotScratch = make([]bool, len(c.hosts))
+		c.coolScratch = make([]*HostView, 0, len(c.hosts))
+	}
+	hot := c.hotScratch
 	for i, ho := range c.hosts {
-		views[i] = ho.view(c.cfg.Overcommit)
 		hot[i] = views[i].LLCPressure > c.cfg.LLCPressureLimit ||
 			ho.intervalRemoteRatio() > c.cfg.RemoteRatioLimit
 	}
 	// Only cool hosts may receive migrations.
-	var coolViews []*HostView
+	coolViews := c.coolScratch[:0]
 	for i, hv := range views {
 		if !hot[i] {
 			coolViews = append(coolViews, hv)
 		}
 	}
+	c.coolScratch = coolViews[:0]
 	for i, ho := range c.hosts {
 		if !hot[i] || len(coolViews) == 0 {
 			continue
@@ -679,6 +757,7 @@ func (c *Cluster) startMigration(vm *VM, target *Host, plan MemPlan) {
 	if err != nil {
 		return // capacity moved under us; skip this tick
 	}
+	c.markDirty(target)
 	for i, p := range profiles {
 		if p == nil {
 			continue
@@ -696,6 +775,7 @@ func (c *Cluster) startMigration(vm *VM, target *Host, plan MemPlan) {
 		return
 	}
 	src.removeVM(vm)
+	c.markDirty(src)
 	vm.Host = target
 	vm.dom = dom
 	vm.state = stateMigrating
@@ -728,6 +808,9 @@ func (c *Cluster) finishMigration(vm *VM) {
 	vm.state = stateRunning
 	vm.placedAt = c.engine.Now()
 	vm.Host.Placed++
+	// Activation flips the domain's VCPUs runnable, which moves the
+	// view's LLC pressure — a placement delta like any other.
+	c.markDirty(vm.Host)
 	c.emit(EventMigrateDone, vm.Host, vm,
 		"vm %s resumed on %s", vm.Spec.Name, vm.Host.Name)
 }

@@ -24,7 +24,6 @@ import (
 
 	"vprobe/internal/controlplane"
 	"vprobe/internal/mem"
-	"vprobe/internal/numa"
 	"vprobe/internal/sim"
 	"vprobe/internal/xen"
 )
@@ -64,9 +63,11 @@ func (c *Cluster) dequeue(u *admitUnit) {
 }
 
 // queueOrder returns the queue in admission order: priority desc, arrival
-// asc, unit id asc.
+// asc, unit id asc. The returned slice is the cluster's reusable scratch,
+// valid until the next call.
 func (c *Cluster) queueOrder() []*admitUnit {
-	ordered := append([]*admitUnit(nil), c.queue...)
+	ordered := append(c.orderScratch[:0], c.queue...)
+	c.orderScratch = ordered[:0]
 	sort.Slice(ordered, func(i, j int) bool {
 		a, b := ordered[i], ordered[j]
 		if a.priority != b.priority {
@@ -182,7 +183,7 @@ func (c *Cluster) attemptUnit(u *admitUnit) admitResult {
 // preemption for above-best-effort classes when enabled.
 func (c *Cluster) tryAdmitSingle(u *admitUnit) bool {
 	vm := u.vms[0]
-	if hv, plan, err := c.pipeline.Place(&vm.Spec, c.views()); err == nil {
+	if hv, plan, err := c.place(&vm.Spec); err == nil {
 		c.placeOn(vm, c.hosts[hv.Index], plan, u.retries+1)
 		return c.err == nil
 	}
@@ -222,7 +223,7 @@ func (c *Cluster) tryPreemptFor(u *admitUnit, vm *VM) bool {
 	// layout. The planner's deduction is an estimate — if it diverged the
 	// arrival simply stays queued (the victims are already safe: migrated
 	// or requeued).
-	hv, mplan, err := c.pipeline.Place(&vm.Spec, []*HostView{target.view(c.cfg.Overcommit)})
+	hv, mplan, err := c.pipeline.Place(&vm.Spec, c.liveView(target))
 	if err != nil {
 		return false
 	}
@@ -235,12 +236,17 @@ func (c *Cluster) tryPreemptFor(u *admitUnit, vm *VM) bool {
 // admission queue with its remaining lifetime.
 func (c *Cluster) evictVictim(victim, beneficiary *VM) {
 	src := victim.Host
-	var alt []*HostView
+	// Earlier evictions in the same preemption plan dirtied hosts;
+	// refresh before reading so this victim sees their effect, exactly
+	// as the per-eviction fresh snapshots used to.
+	c.refreshViews()
+	alt := c.altScratch[:0]
 	for _, ho := range c.hosts {
 		if ho != src {
-			alt = append(alt, ho.view(c.cfg.Overcommit))
+			alt = append(alt, &ho.view)
 		}
 	}
+	c.altScratch = alt[:0]
 	c.stats.Preemptions++
 	if hv, plan, err := c.pipeline.Place(&victim.Spec, alt); err == nil {
 		c.emit(EventVMPreempted, src, victim,
@@ -259,6 +265,7 @@ func (c *Cluster) evictVictim(victim, beneficiary *VM) {
 		return
 	}
 	src.removeVM(victim)
+	c.markDirty(src)
 	c.requeueVictim(victim)
 }
 
@@ -296,11 +303,14 @@ func (c *Cluster) requeueVictim(vm *VM) {
 // the allocator's) tears the built domains down again and the gang
 // retries as a whole.
 func (c *Cluster) tryAdmitGang(u *admitUnit) bool {
-	views := c.views()
+	views := c.liveViews()
 	what := make([]*HostView, len(views))
 	for i, hv := range views {
 		cp := *hv
 		cp.FreePerNodeMB = append([]int64(nil), hv.FreePerNodeMB...)
+		// The copy diverges from the live host as members reserve into
+		// it; the live FreeIndex must not shadow the hypothetical vector.
+		cp.FreeIdx = nil
 		what[i] = &cp
 	}
 	type slot struct {
@@ -327,6 +337,11 @@ func (c *Cluster) tryAdmitGang(u *admitUnit) bool {
 		dom, err := c.admitDomain(vm, slots[i].host, slots[i].plan)
 		if err != nil {
 			if c.err == nil {
+				// Roll back the domains already built. Each teardown
+				// dirties its host, so the generations of every touched
+				// host bump and their cached scores recompute — the host
+				// where AddDomain itself failed mutated nothing and stays
+				// clean.
 				for j := 0; j < i; j++ {
 					if derr := slots[j].host.H.DestroyDomain(doms[j]); derr != nil {
 						c.err = fmt.Errorf("cluster: gang rollback on %s: %w",
@@ -334,6 +349,7 @@ func (c *Cluster) tryAdmitGang(u *admitUnit) bool {
 						c.engine.Stop()
 						break
 					}
+					c.markDirty(slots[j].host)
 				}
 			}
 			return false
@@ -354,7 +370,7 @@ func (c *Cluster) tryAdmitGang(u *admitUnit) bool {
 // jump cannot delay the head's earliest feasible start.
 func (c *Cluster) tryBackfill(u, head *admitUnit) bool {
 	vm := u.vms[0]
-	hv, plan, err := c.pipeline.Place(&vm.Spec, c.views())
+	hv, plan, err := c.place(&vm.Spec)
 	if err != nil {
 		return false
 	}
@@ -398,9 +414,9 @@ func (c *Cluster) deschedule() {
 		return
 	}
 	var guest, cap int
-	for _, ho := range c.hosts {
-		guest += ho.guestVCPUs()
-		cap += int(c.cfg.Overcommit * float64(ho.Top.NumCPUs()))
+	for _, hv := range c.liveViews() {
+		guest += hv.GuestVCPUs
+		cap += hv.VCPUCap
 	}
 	if cap == 0 || float64(guest)/float64(cap) > c.cfg.DescheduleUtilLimit {
 		return
@@ -419,8 +435,7 @@ func (c *Cluster) deschedule() {
 		if vm.state != stateRunning || vm.Host != src {
 			continue
 		}
-		tv := c.hosts[mv.TargetHost].view(c.cfg.Overcommit)
-		hv, mplan, err := c.pipeline.Place(&vm.Spec, []*HostView{tv})
+		hv, mplan, err := c.pipeline.Place(&vm.Spec, c.liveView(c.hosts[mv.TargetHost]))
 		if err != nil {
 			continue // capacity moved since the plan; skip this move
 		}
@@ -436,29 +451,22 @@ func (c *Cluster) deschedule() {
 
 // ---- planner adapters ----
 
-// views snapshots every host for the pipeline.
-func (c *Cluster) views() []*HostView {
-	views := make([]*HostView, len(c.hosts))
-	for i, ho := range c.hosts {
-		views[i] = ho.view(c.cfg.Overcommit)
-	}
-	return views
-}
-
-// hostCaps snapshots every host as a control-plane capacity record.
-// victimFilter, when non-nil, selects which running VMs are offered to the
-// planner as evictable; migrating VMs are never offered.
+// hostCaps snapshots every host as a control-plane capacity record,
+// reading the cached views (refreshed first) instead of rescanning the
+// allocators. The per-cap slices are fresh copies: the planners treat
+// caps as their own what-if state to deduct from. victimFilter, when
+// non-nil, selects which running VMs are offered to the planner as
+// evictable; migrating VMs are never offered.
 func (c *Cluster) hostCaps(victimFilter func(*VM) bool) []*controlplane.HostCap {
+	c.refreshViews()
 	caps := make([]*controlplane.HostCap, len(c.hosts))
 	for i, ho := range c.hosts {
 		hc := &controlplane.HostCap{
-			Index:      i,
-			GuestVCPUs: ho.guestVCPUs(),
-			VCPUCap:    int(c.cfg.Overcommit * float64(ho.Top.NumCPUs())),
-			LiveVMs:    len(ho.VMs),
-		}
-		for n := 0; n < ho.Top.NumNodes(); n++ {
-			hc.FreePerNodeMB = append(hc.FreePerNodeMB, ho.H.Alloc.FreeMB(numa.NodeID(n)))
+			Index:         i,
+			GuestVCPUs:    ho.view.GuestVCPUs,
+			VCPUCap:       ho.view.VCPUCap,
+			LiveVMs:       ho.view.VMs,
+			FreePerNodeMB: append([]int64(nil), ho.view.FreePerNodeMB...),
 		}
 		if victimFilter != nil {
 			for _, vm := range ho.VMs {

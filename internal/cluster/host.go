@@ -27,6 +27,28 @@ type Host struct {
 
 	// Rebalance-interval counter snapshot (see intervalRemoteRatio).
 	lastTotal, lastRemote float64
+
+	// Incremental placement state (DESIGN.md §14). view is the persistent
+	// snapshot the pipeline reads; it is refreshed — never rebuilt — when
+	// the host is dirty. freeIdx mirrors view.FreePerNodeMB incrementally.
+	view    HostView
+	freeIdx *numa.FreeIndex
+	// gen counts view refreshes. The score cache stores the generation a
+	// cached (pipeline, host) score was computed at; a bumped generation
+	// is the only thing that invalidates it.
+	gen uint64
+	// dirty flags an explicit placement delta (domain added, destroyed,
+	// or activated) since the last refresh. A host also needs a refresh
+	// when it carries VMs and its engine advanced past viewTime: running
+	// guests move the view's LLC-pressure and remote-ratio fields.
+	dirty  bool
+	queued bool // on the cluster's refresh list
+	// viewTime is the host-engine time the view reflects.
+	viewTime sim.Time
+	// ctrTotal/ctrRemote cache counterTotals at the last refresh, so the
+	// rebalancer's interval ratio reads cached state instead of rescanning
+	// every VCPU of every host per tick.
+	ctrTotal, ctrRemote float64
 }
 
 // newHost builds and starts one host. Starting with zero domains is valid:
@@ -54,6 +76,27 @@ func newHost(index int, topoName string, kind sched.Kind, seed uint64) (*Host, e
 	}, nil
 }
 
+// initView seeds the host's persistent view: the static fields plus
+// storage for the dynamic ones. The first refresh fills the rest.
+func (ho *Host) initView(overcommit float64) {
+	nodes := ho.Top.NumNodes()
+	free := make([]int64, nodes)
+	for n := 0; n < nodes; n++ {
+		free[n] = ho.H.Alloc.FreeMB(numa.NodeID(n))
+	}
+	ho.freeIdx = numa.NewFreeIndex(free)
+	ho.view = HostView{
+		Index:         ho.Index,
+		Name:          ho.Name,
+		Nodes:         nodes,
+		CPUs:          ho.Top.NumCPUs(),
+		FreePerNodeMB: free,
+		TotalMB:       ho.Top.TotalMemoryMB(),
+		VCPUCap:       int(overcommit * float64(ho.Top.NumCPUs())),
+		FreeIdx:       ho.freeIdx,
+	}
+}
+
 // advanceTo runs the host's own event engine up to absolute cluster time
 // t. Host clocks and the cluster clock share t=0, so this keeps every
 // host's state current before a cluster-level decision reads it.
@@ -72,6 +115,34 @@ func (ho *Host) guestVCPUs() int {
 		n += vm.Spec.VCPUs
 	}
 	return n
+}
+
+// settled reports that nothing on the host can change its view anymore:
+// every PCPU is idle and no VCPU is runnable. The incremental engine
+// uses it as the quiescence test for empty hosts — once settled, the
+// cached view's pressure and counters are frozen until the cluster
+// mutates the host again (wakeups of paused VCPUs are no-ops).
+//
+// The PCPU check is load-bearing, not belt-and-braces: a domain teardown
+// can race the scheduler's redispatch, leaving a VCPU current on a PCPU
+// with an armed quantum while its state reads blocked. The armed quantum
+// later retires and re-runs the VCPU, so a host that looks idle by VCPU
+// states alone may still be executing. "No current VCPU anywhere" is
+// what guarantees no pending quantum can move the view.
+//
+//vprobe:hotpath
+func (ho *Host) settled() bool {
+	for _, p := range ho.H.PCPUs {
+		if p.Current != nil {
+			return false
+		}
+	}
+	for _, v := range ho.H.AllVCPUs() {
+		if v.Runnable() {
+			return false
+		}
+	}
+	return true
 }
 
 // removeVM drops a VM from the live list.
@@ -123,21 +194,26 @@ func (ho *Host) remoteRatio() float64 {
 // intervalRemoteRatio returns the remote-access ratio since the previous
 // call and advances the snapshot. The rebalancer uses this (not the
 // lifetime ratio) so an old imbalance that was already fixed does not keep
-// triggering migrations.
+// triggering migrations. It reads the counter totals cached at the last
+// view refresh: refreshViews runs before every rebalance scan, and a host
+// skipped by it is exactly a host whose counters have not moved.
 func (ho *Host) intervalRemoteRatio() float64 {
-	total, remote := ho.counterTotals()
-	dt, dr := total-ho.lastTotal, remote-ho.lastRemote
-	ho.lastTotal, ho.lastRemote = total, remote
+	dt, dr := ho.ctrTotal-ho.lastTotal, ho.ctrRemote-ho.lastRemote
+	ho.lastTotal, ho.lastRemote = ho.ctrTotal, ho.ctrRemote
 	if dt <= 0 {
 		return 0
 	}
 	return dr / dt
 }
 
-// view snapshots the host's placement-relevant state for the filter/score
-// pipeline. overcommit is the cluster's VCPU overcommit factor, baked into
-// the view so plugins stay pure functions of (spec, view).
-func (ho *Host) view(overcommit float64) *HostView {
+// freshView snapshots the host's placement-relevant state from scratch,
+// exactly as the pre-incremental engine did on every arrival. The cached
+// path must agree with it byte for byte; the -place-check shadow mode and
+// the invalidation tests compare against it. overcommit is the cluster's
+// VCPU overcommit factor, baked into the view so plugins stay pure
+// functions of (spec, view).
+func (ho *Host) freshView(overcommit float64) *HostView {
+	//vet:alloc freshView is the from-scratch reference, reached from the hot path only via the diagnostic -place-check shadow mode
 	v := &HostView{
 		Index:       ho.Index,
 		Name:        ho.Name,
@@ -152,6 +228,7 @@ func (ho *Host) view(overcommit float64) *HostView {
 	}
 	for n := 0; n < ho.Top.NumNodes(); n++ {
 		free := ho.H.Alloc.FreeMB(numa.NodeID(n))
+		//vet:alloc from-scratch snapshot allocation, shadow mode only
 		v.FreePerNodeMB = append(v.FreePerNodeMB, free)
 		v.FreeMB += free
 	}

@@ -1,0 +1,143 @@
+package cluster
+
+// The incremental placement engine. The pre-refactor arrival path rebuilt
+// every host's view and rescored every host per event — O(hosts) work per
+// arrival, which melts at datacenter scale. This file replaces the rebuild
+// with persistent views plus a dirty-set:
+//
+//   - Every Host owns one HostView, refreshed in place when the host is
+//     dirty. A host is dirty after an explicit placement delta (domain
+//     added, destroyed, or activated), or when it can still execute guest
+//     work and its engine advanced past the view's timestamp (running
+//     guests move the LLC-pressure and remote-ratio fields). Hosts that
+//     are settled — no VMs, no runnable VCPU, every PCPU idle; the
+//     overwhelming majority of a large fleet — are never revisited: with
+//     nothing current or runnable no quantum can retire, so counters and
+//     pressure are frozen, and wakeups of paused VCPUs are no-ops. (The
+//     settled test checks PCPUs, not just VCPU states: a domain teardown
+//     can race the scheduler's redispatch and leave a VCPU current with
+//     an armed quantum while its state reads blocked, so "no VMs and
+//     nothing runnable" alone does not mean "quiescent"; see
+//     Host.settled.)
+//
+//   - refreshViews walks only the refresh list (hosts that ever received
+//     a delta and still hold VMs), so bringing the fleet current costs
+//     O(dirty hosts), not O(hosts).
+//
+//   - Each refresh bumps the host's generation, which is what invalidates
+//     the score cache (scorecache.go). An arrival then costs
+//     O(dirty hosts + log H): rescore the dirtied hosts, repair the heap,
+//     read the max.
+//
+// Every value the cached path serves is defined to equal what the
+// from-scratch path (Host.freshView + Pipeline.Place) would produce at the
+// same instant; the -place-check shadow mode (placecheck.go) enforces that
+// equivalence decision by decision.
+
+import "vprobe/internal/numa"
+
+// markDirty flags a placement delta on the host and puts it on the
+// refresh list. Call it after any mutation that changes what a view would
+// show: AddDomain, DestroyDomain, ActivateDomain, or the VM-list edits
+// around them.
+//
+//vprobe:hotpath
+func (c *Cluster) markDirty(ho *Host) {
+	ho.dirty = true
+	if !ho.queued {
+		ho.queued = true
+		//vet:alloc the refresh list's backing array grows to at most len(hosts) once, then is reused forever
+		c.refreshList = append(c.refreshList, ho)
+	}
+}
+
+// refreshViews brings every possibly-stale cached view current. Hosts
+// drop off the refresh list once they are empty and settled (see
+// Host.settled): nothing on such a host can change a view until the
+// cluster places something there again, and that placement re-queues it.
+// A host that is empty but still winding down guest work (a teardown
+// racing the scheduler's redispatch) stays on the list until it
+// quiesces, so its pressure and counters keep tracking the truth.
+//
+//vprobe:hotpath
+func (c *Cluster) refreshViews() {
+	kept := c.refreshList[:0]
+	for _, ho := range c.refreshList {
+		if ho.dirty || ho.H.Engine.Now() > ho.viewTime {
+			c.refreshHost(ho)
+		}
+		if len(ho.VMs) > 0 || !ho.settled() {
+			//vet:alloc compaction into the list's own backing array; kept starts at refreshList[:0] and can never outgrow it
+			kept = append(kept, ho)
+		} else {
+			ho.queued = false
+		}
+	}
+	c.refreshList = kept
+}
+
+// refreshHost recomputes the host's persistent view in place, mirrors the
+// per-node free vector into the FreeIndex, bumps the view generation, and
+// invalidates the host's cached scores. The field-by-field computation is
+// freshView's, so a refreshed cached view always equals a from-scratch
+// snapshot taken at the same instant.
+//
+//vprobe:hotpath
+func (c *Cluster) refreshHost(ho *Host) {
+	v := &ho.view
+	v.GuestVCPUs = ho.guestVCPUs()
+	v.VMs = len(ho.VMs)
+	v.LLCPressure = ho.llcPressure()
+	total, remote := ho.counterTotals()
+	ho.ctrTotal, ho.ctrRemote = total, remote
+	if total > 0 {
+		v.RemoteRatio = remote / total
+	} else {
+		v.RemoteRatio = 0
+	}
+	v.FreeMB = 0
+	for n := 0; n < v.Nodes; n++ {
+		free := ho.H.Alloc.FreeMB(numa.NodeID(n))
+		v.FreePerNodeMB[n] = free
+		v.FreeMB += free
+		ho.freeIdx.Set(numa.NodeID(n), free)
+	}
+	ho.dirty = false
+	ho.viewTime = ho.H.Engine.Now()
+	ho.gen++
+	c.scores.invalidate(ho.Index)
+}
+
+// liveViews returns the stable all-hosts view slice after refreshing
+// stale entries. The returned slice and the views it points to are owned
+// by the cluster and valid until the next mutation; callers must not hold
+// them across events.
+func (c *Cluster) liveViews() []*HostView {
+	c.refreshViews()
+	return c.viewSlice
+}
+
+// liveView returns one host's refreshed view wrapped in a reusable
+// single-entry slice, for the restricted Place calls (preemption re-place,
+// descheduler move checks) that consider exactly one host.
+func (c *Cluster) liveView(ho *Host) []*HostView {
+	c.refreshViews()
+	c.oneView[0] = &ho.view
+	return c.oneView[:]
+}
+
+// place routes one VM spec through the incremental engine: refresh the
+// dirty views, rescore only hosts whose generation moved, and read the
+// winner off the class heap. This is the per-arrival hot path; it must
+// decide exactly as Pipeline.Place over fresh views of every host would,
+// and with -place-check on, checkPlacement verifies that it did.
+//
+//vprobe:hotpath
+func (c *Cluster) place(spec *VMSpec) (*HostView, MemPlan, error) {
+	c.refreshViews()
+	hv, plan, err := c.scores.place(spec)
+	if c.cfg.PlaceCheck {
+		c.checkPlacement(spec, hv, plan, err)
+	}
+	return hv, plan, err
+}

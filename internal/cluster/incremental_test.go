@@ -1,0 +1,273 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"vprobe/internal/sim"
+)
+
+// The incremental-engine invariants (DESIGN.md §14), pinned op by op:
+// every cluster-level mutation must dirty exactly the hosts it touched,
+// a refresh must bump exactly the dirtied generations, and untouched
+// hosts must never be revisited. The end-to-end agreement between the
+// cached path and a full rescan is covered separately by the PlaceCheck
+// run at the bottom of this file.
+
+// mkCluster builds an unstarted cluster for driving the incremental
+// engine by hand. New seeds every host view directly (without queuing),
+// so generations start from a stable baseline and the refresh list
+// starts empty.
+func mkCluster(t *testing.T, hosts int) *Cluster {
+	t.Helper()
+	c, err := New(Config{Hosts: hosts, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func gens(c *Cluster) []uint64 {
+	out := make([]uint64, len(c.hosts))
+	for i, ho := range c.hosts {
+		out[i] = ho.gen
+	}
+	return out
+}
+
+// placeVM pushes one spec through the hot path exactly as admission
+// does: incremental place, then placeOn onto the winner.
+func placeVM(t *testing.T, c *Cluster, spec VMSpec) *VM {
+	t.Helper()
+	hv, plan, err := c.place(&spec)
+	if err != nil {
+		t.Fatalf("place %s: %v", spec.Name, err)
+	}
+	vm := &VM{ID: len(c.vms), Spec: spec, life: 30 * sim.Second}
+	c.vms = append(c.vms, vm)
+	c.placeOn(vm, c.hosts[hv.Index], plan, 1)
+	if c.err != nil {
+		t.Fatalf("placeOn %s: %v", spec.Name, c.err)
+	}
+	return vm
+}
+
+// checkGens asserts that exactly the hosts in bumped moved their view
+// generation since base.
+func checkGens(t *testing.T, c *Cluster, base []uint64, bumped map[int]bool) {
+	t.Helper()
+	for i, ho := range c.hosts {
+		if bumped[i] {
+			if ho.gen <= base[i] {
+				t.Errorf("host%d: generation %d not bumped (base %d)", i, ho.gen, base[i])
+			}
+		} else if ho.gen != base[i] {
+			t.Errorf("host%d: generation moved %d -> %d without a local delta",
+				i, base[i], ho.gen)
+		}
+	}
+}
+
+func TestPlacementDirtiesOnlyTarget(t *testing.T) {
+	c := mkCluster(t, 6)
+	base := gens(c)
+	vm := placeVM(t, c, VMSpec{Name: "vm000", MemoryMB: 2048, VCPUs: 2})
+	target := vm.Host.Index
+	for i, ho := range c.hosts {
+		if i == target {
+			if !ho.dirty || !ho.queued {
+				t.Fatalf("target host%d not dirty/queued after placement", i)
+			}
+			continue
+		}
+		if ho.dirty || ho.queued {
+			t.Fatalf("host%d dirtied by a placement on host%d", i, target)
+		}
+	}
+	c.refreshViews()
+	checkGens(t, c, base, map[int]bool{target: true})
+}
+
+func TestDepartureDirtiesOnlyHost(t *testing.T) {
+	c := mkCluster(t, 6)
+	vm := placeVM(t, c, VMSpec{Name: "vm000", MemoryMB: 2048, VCPUs: 2})
+	c.refreshViews()
+	base := gens(c)
+	host := vm.Host.Index
+	c.onDepart(vm)
+	if c.err != nil {
+		t.Fatal(c.err)
+	}
+	if vm.state != stateDeparted {
+		t.Fatalf("vm state %v after depart", vm.state)
+	}
+	for i, ho := range c.hosts {
+		if (i == host) != ho.dirty {
+			t.Fatalf("host%d dirty=%v after departure from host%d", i, ho.dirty, host)
+		}
+	}
+	c.refreshViews()
+	checkGens(t, c, base, map[int]bool{host: true})
+}
+
+func TestMigrationDirtiesSourceAndTarget(t *testing.T) {
+	c := mkCluster(t, 4)
+	vm := placeVM(t, c, VMSpec{Name: "vm000", MemoryMB: 2048, VCPUs: 2})
+	src := vm.Host.Index
+	c.refreshViews()
+	base := gens(c)
+	dst := (src + 1) % len(c.hosts)
+	hv, plan, err := c.pipeline.Place(&vm.Spec, c.liveView(c.hosts[dst]))
+	if err != nil {
+		t.Fatalf("restricted place on host%d: %v", dst, err)
+	}
+	if hv.Index != dst {
+		t.Fatalf("restricted place picked host%d, want host%d", hv.Index, dst)
+	}
+	c.startMigration(vm, c.hosts[dst], plan)
+	if c.err != nil {
+		t.Fatal(c.err)
+	}
+	for i, ho := range c.hosts {
+		want := i == src || i == dst
+		if ho.dirty != want {
+			t.Fatalf("host%d dirty=%v after migration host%d -> host%d",
+				i, ho.dirty, src, dst)
+		}
+	}
+	c.refreshViews()
+	checkGens(t, c, base, map[int]bool{src: true, dst: true})
+}
+
+// TestSettledHostsLeaveRefreshList pins the quiescence rule: a host
+// drops off the refresh list only once it is empty AND nothing on it is
+// runnable, and from then on repeated refreshes never touch it again.
+func TestSettledHostsLeaveRefreshList(t *testing.T) {
+	c := mkCluster(t, 3)
+	vm := placeVM(t, c, VMSpec{Name: "vm000", MemoryMB: 1024, VCPUs: 1})
+	host := vm.Host
+	c.onDepart(vm)
+	if c.err != nil {
+		t.Fatal(c.err)
+	}
+	c.refreshViews()
+	if !host.settled() {
+		t.Fatal("destroyed-before-running domain left the host unsettled")
+	}
+	if host.queued {
+		t.Fatal("settled empty host still on the refresh list")
+	}
+	base := gens(c)
+	for i := 0; i < 5; i++ {
+		c.refreshViews()
+	}
+	checkGens(t, c, base, nil)
+	if len(c.refreshList) != 0 {
+		t.Fatalf("refresh list holds %d settled hosts", len(c.refreshList))
+	}
+}
+
+// TestCachedViewMatchesFresh drives a mutation sequence and asserts
+// every host's persistent view is field-for-field the from-scratch
+// snapshot — the same equivalence -place-check enforces mid-run.
+func TestCachedViewMatchesFresh(t *testing.T) {
+	c := mkCluster(t, 4)
+	a := placeVM(t, c, VMSpec{Name: "vm000", MemoryMB: 2048, VCPUs: 2})
+	b := placeVM(t, c, VMSpec{Name: "vm001", MemoryMB: 4096, VCPUs: 4})
+	placeVM(t, c, VMSpec{Name: "vm002", MemoryMB: 1024, VCPUs: 1})
+	c.onDepart(a)
+	dst := (b.Host.Index + 1) % len(c.hosts)
+	if hv, plan, err := c.pipeline.Place(&b.Spec, c.liveView(c.hosts[dst])); err == nil && hv.Index == dst {
+		c.startMigration(b, c.hosts[dst], plan)
+	}
+	if c.err != nil {
+		t.Fatal(c.err)
+	}
+	c.refreshViews()
+	for _, ho := range c.hosts {
+		fresh := ho.freshView(c.cfg.Overcommit)
+		if diff := diffViews(&ho.view, fresh); diff != "" {
+			t.Errorf("%s cached view diverged: %s", ho.Name, diff)
+		}
+	}
+}
+
+// TestScoreCacheTracksInvalidation pins that a host refresh is what
+// invalidates cached scores: as placements consume capacity step by
+// step, the cached winner must keep matching what the generic pipeline
+// picks over from-scratch views, through to the fleet filling up.
+func TestScoreCacheTracksInvalidation(t *testing.T) {
+	c := mkCluster(t, 4)
+	spec := VMSpec{MemoryMB: 4096, VCPUs: 4}
+	for i := 0; i < 32; i++ {
+		hv, plan, err := c.place(&spec)
+		hv2, _, err2 := c.pipeline.Place(&spec, refreshed(c))
+		if (err == nil) != (err2 == nil) {
+			t.Fatalf("step %d: cached err=%v, fresh err=%v", i, err, err2)
+		}
+		if err != nil {
+			return // fleet full; cached path agreed with the rescan on that
+		}
+		if hv.Index != hv2.Index {
+			t.Fatalf("step %d: cached winner host%d, fresh winner host%d",
+				i, hv.Index, hv2.Index)
+		}
+		s := spec
+		s.Name = fmt.Sprintf("vm%03d", i)
+		vm := &VM{ID: len(c.vms), Spec: s, life: 30 * sim.Second}
+		c.vms = append(c.vms, vm)
+		c.placeOn(vm, c.hosts[hv.Index], plan, 1)
+		if c.err != nil {
+			t.Fatal(c.err)
+		}
+	}
+	t.Fatal("32 4GB placements never filled a 4-host fleet")
+}
+
+// refreshed returns from-scratch views of every host, in index order.
+func refreshed(c *Cluster) []*HostView {
+	out := make([]*HostView, len(c.hosts))
+	for i, ho := range c.hosts {
+		out[i] = ho.freshView(c.cfg.Overcommit)
+	}
+	return out
+}
+
+// TestPlaceCheckAllMechanisms is the end-to-end cross-validation: a full
+// run with every admission mechanism exercised — preemption, gangs,
+// backfill, the descheduler, rebalancing — under -place-check, which
+// stops the run on the first decision or view that diverges from a full
+// rescan. Run at several worker counts, the results must also be
+// byte-identical (the determinism acceptance criterion).
+func TestPlaceCheckAllMechanisms(t *testing.T) {
+	base := Config{
+		Hosts:             4,
+		Horizon:           120 * sim.Second,
+		Seed:              17,
+		ArrivalsPerSecond: 1.2,
+		MeanLifetime:      30 * sim.Second,
+		Preempt:           true,
+		Gang:              true,
+		GangFraction:      0.3,
+		GangSize:          3,
+		Backfill:          true,
+		DeschedulePeriod:  15 * sim.Second,
+		PlaceCheck:        true,
+	}
+	var wantRep, wantLog string
+	for _, workers := range []int{1, 4, 8} {
+		cfg := base
+		cfg.Workers = workers
+		rep, log := runWith(t, cfg)
+		if wantRep == "" {
+			wantRep, wantLog = rep.String(), log
+			continue
+		}
+		if rep.String() != wantRep {
+			t.Fatalf("report diverges at workers=%d", workers)
+		}
+		if log != wantLog {
+			t.Fatalf("event log diverges at workers=%d", workers)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package cluster
+
+// The -place-check shadow mode: with Config.PlaceCheck set, every
+// incremental placement decision is cross-validated against the
+// pre-refactor full rescan. Two comparisons run per decision:
+//
+//  1. State: every host's cached view must equal a from-scratch
+//     freshView snapshot, field by field — this catches a missed
+//     markDirty or a drifting FreeIndex at the first event it matters.
+//  2. Decision: the generic Pipeline.Place over the fresh views must
+//     pick the same host, the same memory plan, and agree on
+//     feasibility — this catches heap-order or cache-invalidation bugs.
+//
+// A divergence is a simulation-integrity failure: the run stops with a
+// diagnostic naming the first differing field. The mode costs O(hosts)
+// per decision — it exists to prove the O(dirty) path right, not to run
+// in production sweeps.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"vprobe/internal/numa"
+)
+
+// checkPlacement validates one incremental decision against the full
+// rescan. Called from Cluster.place when PlaceCheck is on.
+func (c *Cluster) checkPlacement(spec *VMSpec, hv *HostView, plan MemPlan, err error) {
+	if c.err != nil {
+		return
+	}
+	//vet:alloc the place-check shadow path deliberately pays full-rescan cost; it is diagnostic-only and off by default
+	fresh := make([]*HostView, len(c.hosts))
+	for i, ho := range c.hosts {
+		fresh[i] = ho.freshView(c.cfg.Overcommit)
+		if diff := diffViews(&ho.view, fresh[i]); diff != "" {
+			//vet:alloc divergence reporting runs once, immediately before the run stops
+			c.failCheck("host %s cached view diverged from full rescan: %s", ho.Name, diff)
+			return
+		}
+	}
+	wantHV, wantPlan, wantErr := c.pipeline.Place(spec, fresh)
+	if (err != nil) != (wantErr != nil) {
+		//vet:alloc divergence reporting runs once, immediately before the run stops
+		c.failCheck("spec %s: incremental err=%v, full rescan err=%v", spec.Name, err, wantErr)
+		return
+	}
+	if err != nil {
+		if !errors.Is(err, ErrNoHostFits) || !errors.Is(wantErr, ErrNoHostFits) {
+			//vet:alloc divergence reporting runs once, immediately before the run stops
+			c.failCheck("spec %s: failure kind mismatch: incremental %v, full rescan %v",
+				spec.Name, err, wantErr)
+		}
+		return
+	}
+	if hv.Index != wantHV.Index {
+		//vet:alloc divergence reporting runs once, immediately before the run stops
+		c.failCheck("spec %s: incremental picked %s, full rescan picked %s",
+			spec.Name, hv.Name, wantHV.Name)
+		return
+	}
+	if plan != wantPlan {
+		//vet:alloc divergence reporting runs once, immediately before the run stops
+		c.failCheck("spec %s on %s: incremental plan %+v, full rescan plan %+v",
+			spec.Name, hv.Name, plan, wantPlan)
+	}
+}
+
+// failCheck records a shadow-check divergence and stops the run.
+func (c *Cluster) failCheck(format string, args ...any) {
+	//vet:alloc divergence reporting runs once, immediately before the run stops
+	c.err = fmt.Errorf("cluster: place-check: "+format, args...)
+	c.engine.Stop()
+}
+
+// diffViews compares a cached view against a fresh snapshot and names the
+// first differing field ("" when identical). Float fields compare exactly:
+// the cached path recomputes them from the same inputs with the same
+// arithmetic, so any difference — even one ULP — is a missed refresh.
+func diffViews(cached, fresh *HostView) string {
+	switch {
+	case cached.Index != fresh.Index:
+		//vet:alloc first-difference rendering happens at most once per run, on the failure path
+		return fmt.Sprintf("Index %d != %d", cached.Index, fresh.Index)
+	case cached.Name != fresh.Name:
+		//vet:alloc first-difference rendering happens at most once per run, on the failure path
+		return fmt.Sprintf("Name %q != %q", cached.Name, fresh.Name)
+	case cached.Nodes != fresh.Nodes:
+		//vet:alloc first-difference rendering happens at most once per run, on the failure path
+		return fmt.Sprintf("Nodes %d != %d", cached.Nodes, fresh.Nodes)
+	case cached.CPUs != fresh.CPUs:
+		//vet:alloc first-difference rendering happens at most once per run, on the failure path
+		return fmt.Sprintf("CPUs %d != %d", cached.CPUs, fresh.CPUs)
+	case cached.FreeMB != fresh.FreeMB:
+		//vet:alloc first-difference rendering happens at most once per run, on the failure path
+		return fmt.Sprintf("FreeMB %d != %d", cached.FreeMB, fresh.FreeMB)
+	case cached.TotalMB != fresh.TotalMB:
+		//vet:alloc first-difference rendering happens at most once per run, on the failure path
+		return fmt.Sprintf("TotalMB %d != %d", cached.TotalMB, fresh.TotalMB)
+	case cached.GuestVCPUs != fresh.GuestVCPUs:
+		//vet:alloc first-difference rendering happens at most once per run, on the failure path
+		return fmt.Sprintf("GuestVCPUs %d != %d", cached.GuestVCPUs, fresh.GuestVCPUs)
+	case cached.VCPUCap != fresh.VCPUCap:
+		//vet:alloc first-difference rendering happens at most once per run, on the failure path
+		return fmt.Sprintf("VCPUCap %d != %d", cached.VCPUCap, fresh.VCPUCap)
+	case cached.VMs != fresh.VMs:
+		//vet:alloc first-difference rendering happens at most once per run, on the failure path
+		return fmt.Sprintf("VMs %d != %d", cached.VMs, fresh.VMs)
+	case !floatEq(cached.LLCPressure, fresh.LLCPressure):
+		//vet:alloc first-difference rendering happens at most once per run, on the failure path
+		return fmt.Sprintf("LLCPressure %v != %v", cached.LLCPressure, fresh.LLCPressure)
+	case !floatEq(cached.RemoteRatio, fresh.RemoteRatio):
+		//vet:alloc first-difference rendering happens at most once per run, on the failure path
+		return fmt.Sprintf("RemoteRatio %v != %v", cached.RemoteRatio, fresh.RemoteRatio)
+	}
+	for n := range fresh.FreePerNodeMB {
+		if cached.FreePerNodeMB[n] != fresh.FreePerNodeMB[n] {
+			//vet:alloc first-difference rendering happens at most once per run, on the failure path
+			return fmt.Sprintf("FreePerNodeMB[%d] %d != %d",
+				n, cached.FreePerNodeMB[n], fresh.FreePerNodeMB[n])
+		}
+		if got := cached.FreeIdx.FreeMB(numa.NodeID(n)); got != fresh.FreePerNodeMB[n] {
+			//vet:alloc first-difference rendering happens at most once per run, on the failure path
+			return fmt.Sprintf("FreeIdx[%d] %d != %d", n, got, fresh.FreePerNodeMB[n])
+		}
+	}
+	return ""
+}
+
+// floatEq is bitwise float equality (NaN-safe): the check demands exact
+// recomputation, not tolerance.
+func floatEq(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}

@@ -39,11 +39,27 @@ type HostView struct {
 	// remote-access ratio.
 	LLCPressure float64
 	RemoteRatio float64
+
+	// FreeIdx, when non-nil, is the host's incremental free-chunk index,
+	// maintained to mirror FreePerNodeMB exactly (refreshHost writes
+	// both from the same allocator reads). Plugins use it to answer
+	// available-space and best-node queries without copying or sorting;
+	// they fall back to the from-scratch scan when it is nil. What-if
+	// view copies that mutate FreePerNodeMB (gang reserve) must leave
+	// FreeIdx nil, or the fast path would read the live host instead of
+	// the hypothetical.
+	FreeIdx *numa.FreeIndex
 }
 
 // bestNode returns the node with the most free memory (ties toward the
-// lowest id) and that node's free MB.
+// lowest id) and that node's free MB. The FreeIndex answers in O(1) when
+// present; FreeIndex.Best is defined to match this scan's tie-break.
+//
+//vprobe:hotpath
 func (hv *HostView) bestNode() (numa.NodeID, int64) {
+	if hv.FreeIdx != nil {
+		return hv.FreeIdx.Best()
+	}
 	best, bestFree := numa.NoNode, int64(-1)
 	for n, free := range hv.FreePerNodeMB {
 		if free > bestFree {
@@ -93,6 +109,17 @@ type Pipeline struct {
 	// MemPlan maps the winning (spec, view) to a memory layout. When nil
 	// the pipeline defaults to striping across nodes.
 	MemPlan func(spec *VMSpec, host *HostView) MemPlan
+
+	// Place's scratch, reused across calls per the caller-owned-scratch
+	// convention (a Pipeline serves one cluster, whose events are
+	// serial). Without it every placement pass rebuilt both slices.
+	vetoScratch     []veto
+	feasibleScratch []*HostView
+}
+
+// veto records one filter rejection for the every-host-filtered error.
+type veto struct {
+	host, plugin, reason string
 }
 
 // ErrNoHostFits is wrapped into Place's error when every host filters out.
@@ -101,27 +128,31 @@ var ErrNoHostFits = errors.New("cluster: no host fits")
 // Place runs the two phases over the views and returns the winning view
 // and the memory plan for it.
 func (pl *Pipeline) Place(spec *VMSpec, views []*HostView) (*HostView, MemPlan, error) {
-	type veto struct {
-		host, plugin, reason string
-	}
-	var vetoes []veto
-	var feasible []*HostView
+	vetoes := pl.vetoScratch[:0]
+	feasible := pl.feasibleScratch[:0]
 	for _, hv := range views {
 		admitted := true
 		for _, f := range pl.Filters {
 			if err := f.Filter(spec, hv); err != nil {
+				//vet:alloc veto capture grows the reused scratch at most once per fleet size; the incremental fast path never reaches Place
 				vetoes = append(vetoes, veto{hv.Name, f.Name(), err.Error()})
 				admitted = false
 				break
 			}
 		}
 		if admitted {
+			//vet:alloc grows the reused scratch at most once per fleet size
 			feasible = append(feasible, hv)
 		}
 	}
+	// Hand the (possibly grown) backing arrays back before any return.
+	pl.vetoScratch = vetoes[:0]
+	pl.feasibleScratch = feasible[:0]
 	if len(feasible) == 0 {
+		//vet:alloc the every-host-vetoed error renders once per failed generic placement; the incremental path returns bare ErrNoHostFits instead
 		reasons := make([]string, 0, len(vetoes))
 		for _, v := range vetoes {
+			//vet:alloc failure-path rendering only
 			reasons = append(reasons, fmt.Sprintf("%s: %s: %s", v.host, v.plugin, v.reason))
 		}
 		sort.Strings(reasons)
@@ -130,8 +161,10 @@ func (pl *Pipeline) Place(spec *VMSpec, views []*HostView) (*HostView, MemPlan, 
 		// Sorting first keeps the surviving prefix deterministic.
 		const maxReasons = 8
 		if extra := len(reasons) - maxReasons; extra > 0 {
+			//vet:alloc failure-path rendering only
 			reasons = append(reasons[:maxReasons], fmt.Sprintf("… and %d more", extra))
 		}
+		//vet:alloc failure-path rendering only
 		return nil, MemPlan{}, fmt.Errorf("%w for %s (%d MB, %d vcpus): %v",
 			ErrNoHostFits, spec.Name, spec.MemoryMB, spec.VCPUs, reasons)
 	}
@@ -167,9 +200,11 @@ func (CapacityFilter) Name() string { return "capacity" }
 // Filter implements FilterPlugin.
 func (CapacityFilter) Filter(spec *VMSpec, hv *HostView) error {
 	if spec.MemoryMB > hv.FreeMB {
+		//vet:alloc veto errors render only for infeasible hosts; the score cache stores the boolean, not the error
 		return fmt.Errorf("needs %d MB, %d MB free", spec.MemoryMB, hv.FreeMB)
 	}
 	if hv.GuestVCPUs+spec.VCPUs > hv.VCPUCap {
+		//vet:alloc veto errors render only for infeasible hosts; the score cache stores the boolean, not the error
 		return fmt.Errorf("needs %d vcpus, %d of %d committed",
 			spec.VCPUs, hv.GuestVCPUs, hv.VCPUCap)
 	}
@@ -200,13 +235,14 @@ func (f NUMAFitFilter) Filter(spec *VMSpec, hv *HostView) error {
 	if split < 1 {
 		split = 1
 	}
-	//vet:alloc admission runs per placement pass, not per quantum; copying keeps HostView immutable for the other plugins
-	free := append([]int64(nil), hv.FreePerNodeMB...)
-	//vet:alloc sort.Slice's interface conversion and closure are amortized over a whole placement pass
-	sort.Slice(free, func(i, j int) bool { return free[i] > free[j] })
 	var avail int64
-	for i := 0; i < split && i < len(free); i++ {
-		avail += free[i]
+	if hv.FreeIdx != nil {
+		// Incremental path: the index keeps the chunks sorted, so the
+		// available-space sum is O(split) with no copy. TopSum is defined
+		// to equal the from-scratch branch below on the same free vector.
+		avail = hv.FreeIdx.TopSum(split)
+	} else {
+		avail = numa.AvailableMB(hv.FreePerNodeMB, split)
 	}
 	if spec.MemoryMB > avail {
 		//vet:alloc the veto error is an operator-facing diagnostic built once per rejection, not steady state

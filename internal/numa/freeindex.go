@@ -1,0 +1,167 @@
+package numa
+
+// FreeIndex maintains one host's per-node free-memory state incrementally
+// under placement deltas, following Gudkov et al.'s available-space
+// formulation: the memory a multi-NUMA VM can actually use is not the
+// host-wide free total but the sum of the largest per-node free chunks it
+// is allowed to span. The cluster layer's admission filter asks that
+// question once per (pending VM, host) pair on every placement pass, so
+// recomputing it by copying and sorting the free vector — the from-scratch
+// AvailableMB — is the placement hot path's dominant cost on large fleets.
+//
+// The index keeps the node order sorted by (free desc, node asc) and
+// repairs it locally on each delta: a Set, Take, or Give shifts at most
+// the one changed node through its neighbours, so an update is O(nodes)
+// worst case with nodes a small constant (2–8 on every supported
+// topology), and the TopSum / Best queries the admission filter and the
+// memory planner ask are O(split) and O(1) with zero allocation.
+//
+// Every query is defined to agree exactly with the from-scratch
+// computation on the same free vector: TopSum(k) equals AvailableMB(free,
+// k) and Best equals the lowest-numbered node of maximum free. The
+// randomized cross-check in freeindex_test.go pins that equivalence over
+// long mixed delta sequences, which is what lets the cluster layer trust
+// the incremental state for byte-identical placement decisions.
+//
+// Generation counts mutations. Consumers that cache decisions derived
+// from the index (the cluster's score cache) compare generations instead
+// of values: a bumped generation means every derived decision must be
+// recomputed.
+type FreeIndex struct {
+	free  []int64  // free[node] is the node's free MB
+	order []NodeID // node ids sorted by (free desc, node asc)
+	rank  []int    // rank[node] is the node's position in order
+	total int64
+	gen   uint64
+}
+
+// NewFreeIndex builds an index over a copy of the given per-node free
+// vector.
+func NewFreeIndex(free []int64) *FreeIndex {
+	ix := &FreeIndex{
+		free:  make([]int64, len(free)),
+		order: make([]NodeID, len(free)),
+		rank:  make([]int, len(free)),
+	}
+	ix.Reset(free)
+	return ix
+}
+
+// Reset reloads the index from a full free vector of the same length,
+// keeping the backing storage. It counts as one mutation.
+func (ix *FreeIndex) Reset(free []int64) {
+	if len(free) != len(ix.free) {
+		panic("numa: FreeIndex.Reset with a different node count")
+	}
+	ix.total = 0
+	for n, f := range free {
+		ix.free[n] = f
+		ix.order[n] = NodeID(n)
+		ix.rank[n] = n
+		ix.total += f
+	}
+	// Insertion sort into (free desc, node asc) order: node counts are
+	// tiny and the identity permutation is already sorted on ties.
+	for i := 1; i < len(ix.order); i++ {
+		for j := i; j > 0 && ix.less(ix.order[j], ix.order[j-1]); j-- {
+			ix.swap(j, j-1)
+		}
+	}
+	ix.gen++
+}
+
+// less orders node a strictly before node b: more free memory first, ties
+// toward the lower node id — the same total order the from-scratch sort
+// and bestNode tie-break use.
+func (ix *FreeIndex) less(a, b NodeID) bool {
+	if ix.free[a] != ix.free[b] {
+		return ix.free[a] > ix.free[b]
+	}
+	return a < b
+}
+
+// swap exchanges order positions i and j and repairs the rank map.
+func (ix *FreeIndex) swap(i, j int) {
+	ix.order[i], ix.order[j] = ix.order[j], ix.order[i]
+	ix.rank[ix.order[i]] = i
+	ix.rank[ix.order[j]] = j
+}
+
+// Set is the incremental delta: node's free amount becomes mb, and the
+// node shifts through its sorted neighbours to its new position. Setting
+// the current value is a no-op that leaves the generation untouched.
+//
+//vprobe:hotpath
+func (ix *FreeIndex) Set(node NodeID, mb int64) {
+	if ix.free[node] == mb {
+		return
+	}
+	ix.total += mb - ix.free[node]
+	ix.free[node] = mb
+	i := ix.rank[node]
+	for i > 0 && ix.less(ix.order[i], ix.order[i-1]) {
+		ix.swap(i, i-1)
+		i--
+	}
+	for i < len(ix.order)-1 && ix.less(ix.order[i+1], ix.order[i]) {
+		ix.swap(i, i+1)
+		i++
+	}
+	ix.gen++
+}
+
+// Take deducts a placement's per-node share from the node.
+//
+//vprobe:hotpath
+func (ix *FreeIndex) Take(node NodeID, mb int64) { ix.Set(node, ix.free[node]-mb) }
+
+// Give returns a departure's per-node share to the node.
+//
+//vprobe:hotpath
+func (ix *FreeIndex) Give(node NodeID, mb int64) { ix.Set(node, ix.free[node]+mb) }
+
+// FreeMB returns one node's free memory.
+func (ix *FreeIndex) FreeMB(node NodeID) int64 { return ix.free[node] }
+
+// TotalMB returns the host-wide free memory.
+func (ix *FreeIndex) TotalMB() int64 { return ix.total }
+
+// Nodes returns the node count.
+func (ix *FreeIndex) Nodes() int { return len(ix.free) }
+
+// TopSum returns the available space for a VM allowed to span at most k
+// nodes: the sum of the k largest free chunks, equal to AvailableMB on
+// the same vector. k below 1 is treated as 1; k beyond the node count
+// sums everything.
+//
+//vprobe:hotpath
+func (ix *FreeIndex) TopSum(k int) int64 {
+	if k < 1 {
+		k = 1
+	}
+	if k >= len(ix.order) {
+		return ix.total
+	}
+	var sum int64
+	for i := 0; i < k; i++ {
+		sum += ix.free[ix.order[i]]
+	}
+	return sum
+}
+
+// Best returns the node with the most free memory (ties toward the lowest
+// id) and that node's free MB. An empty index returns (NoNode, -1),
+// matching the from-scratch scan over an empty vector.
+//
+//vprobe:hotpath
+func (ix *FreeIndex) Best() (NodeID, int64) {
+	if len(ix.order) == 0 {
+		return NoNode, -1
+	}
+	n := ix.order[0]
+	return n, ix.free[n]
+}
+
+// Generation counts mutations since construction. Equal generations imply
+// identical index state; consumers cache derived decisions against it.
+func (ix *FreeIndex) Generation() uint64 { return ix.gen }

@@ -1,0 +1,155 @@
+package numa
+
+import (
+	"sort"
+	"testing"
+
+	"vprobe/internal/sim"
+)
+
+// refBest is the from-scratch best-node scan the cluster's bestNode uses:
+// the lowest-numbered node of maximum free memory.
+func refBest(free []int64) (NodeID, int64) {
+	best, bestFree := NoNode, int64(-1)
+	for n, f := range free {
+		if f > bestFree {
+			best, bestFree = NodeID(n), f
+		}
+	}
+	return best, bestFree
+}
+
+func TestFreeIndexMatchesFromScratch(t *testing.T) {
+	free := []int64{4096, 1024, 4096, 0}
+	ix := NewFreeIndex(free)
+	for k := 0; k <= 5; k++ {
+		if got, want := ix.TopSum(k), AvailableMB(free, k); got != want {
+			t.Fatalf("TopSum(%d) = %d, AvailableMB = %d", k, got, want)
+		}
+	}
+	if n, f := ix.Best(); n != 0 || f != 4096 {
+		t.Fatalf("Best() = (%d, %d), want (0, 4096): ties break toward the lowest id", n, f)
+	}
+	if ix.TotalMB() != 4096+1024+4096 {
+		t.Fatalf("TotalMB() = %d", ix.TotalMB())
+	}
+}
+
+// TestFreeIndexRandomizedDeltas is the satellite cross-check: after 10k
+// mixed place/depart/migrate-shaped deltas the incremental index must
+// agree with the from-scratch numa.AvailableMB computation (and the
+// best-node scan) on every query.
+func TestFreeIndexRandomizedDeltas(t *testing.T) {
+	rng := sim.NewRNG(42)
+	const nodes = 6
+	free := make([]int64, nodes)
+	for n := range free {
+		free[n] = int64(rng.Intn(32768))
+	}
+	ix := NewFreeIndex(free)
+	gen := ix.Generation()
+	for step := 0; step < 10000; step++ {
+		n := NodeID(rng.Intn(nodes))
+		amt := int64(rng.Intn(4096))
+		switch rng.Intn(3) {
+		case 0: // place: deduct, clamped so free never goes negative
+			if amt > free[n] {
+				amt = free[n]
+			}
+			free[n] -= amt
+			ix.Take(n, amt)
+		case 1: // depart: return memory
+			free[n] += amt
+			ix.Give(n, amt)
+		default: // migrate/refresh: set to an absolute readback value
+			free[n] = amt
+			ix.Set(n, amt)
+		}
+		if g := ix.Generation(); g < gen {
+			t.Fatalf("step %d: generation moved backwards (%d -> %d)", step, gen, g)
+		} else {
+			gen = g
+		}
+		for k := 1; k <= nodes; k++ {
+			if got, want := ix.TopSum(k), AvailableMB(free, k); got != want {
+				t.Fatalf("step %d: TopSum(%d) = %d, from-scratch = %d (free %v)",
+					step, k, got, want, free)
+			}
+		}
+		bn, bf := ix.Best()
+		wn, wf := refBest(free)
+		if bn != wn || bf != wf {
+			t.Fatalf("step %d: Best() = (%d, %d), from-scratch = (%d, %d) (free %v)",
+				step, bn, bf, wn, wf, free)
+		}
+		var total int64
+		for _, f := range free {
+			total += f
+		}
+		if ix.TotalMB() != total {
+			t.Fatalf("step %d: TotalMB() = %d, want %d", step, ix.TotalMB(), total)
+		}
+		for n := range free {
+			if ix.FreeMB(NodeID(n)) != free[n] {
+				t.Fatalf("step %d: FreeMB(%d) = %d, want %d", step, n, ix.FreeMB(NodeID(n)), free[n])
+			}
+		}
+	}
+}
+
+func TestFreeIndexGeneration(t *testing.T) {
+	ix := NewFreeIndex([]int64{100, 200})
+	g := ix.Generation()
+	ix.Set(0, 100) // no-op: value unchanged
+	if ix.Generation() != g {
+		t.Fatal("no-op Set bumped the generation")
+	}
+	ix.Set(0, 150)
+	if ix.Generation() == g {
+		t.Fatal("mutating Set left the generation unchanged")
+	}
+	g = ix.Generation()
+	ix.Reset([]int64{1, 2})
+	if ix.Generation() == g {
+		t.Fatal("Reset left the generation unchanged")
+	}
+}
+
+func TestFreeIndexResetLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Reset with a different node count did not panic")
+		}
+	}()
+	NewFreeIndex([]int64{1, 2}).Reset([]int64{1, 2, 3})
+}
+
+// TestFreeIndexOrderInvariant pins the sorted-order representation the
+// cluster relies on for deterministic tie-breaks.
+func TestFreeIndexOrderInvariant(t *testing.T) {
+	rng := sim.NewRNG(7)
+	ix := NewFreeIndex(make([]int64, 5))
+	free := make([]int64, 5)
+	for step := 0; step < 2000; step++ {
+		n := NodeID(rng.Intn(5))
+		v := int64(rng.Intn(8)) * 512 // coarse values force frequent ties
+		free[n] = v
+		ix.Set(n, v)
+		order := append([]NodeID(nil), ix.order...)
+		if !sort.SliceIsSorted(order, func(i, j int) bool {
+			a, b := order[i], order[j]
+			if free[a] != free[b] {
+				return free[a] > free[b]
+			}
+			return a < b
+		}) {
+			t.Fatalf("step %d: order %v not sorted by (free desc, id asc), free %v",
+				step, order, free)
+		}
+		for i, n := range order {
+			if ix.rank[n] != i {
+				t.Fatalf("step %d: rank[%d] = %d, want %d", step, n, ix.rank[n], i)
+			}
+		}
+	}
+}

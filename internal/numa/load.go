@@ -112,6 +112,29 @@ func Export(t *Topology) FileConfig {
 	return fc
 }
 
+// AvailableMB is the from-scratch Gudkov-style available-space
+// computation: the memory a VM allowed to span at most maxSplit NUMA
+// nodes can actually use, i.e. the sum of the maxSplit largest entries of
+// the per-node free vector. It copies and sorts, so it costs O(n log n)
+// and allocates — it is the reference semantics that FreeIndex.TopSum
+// reproduces incrementally, kept as the definition the randomized
+// cross-check in freeindex_test.go and the cluster's -place-check shadow
+// mode compare against. maxSplit below 1 is treated as 1.
+func AvailableMB(freePerNodeMB []int64, maxSplit int) int64 {
+	if maxSplit < 1 {
+		maxSplit = 1
+	}
+	//vet:alloc the from-scratch fallback copies so the caller's vector stays untouched; the hot path uses FreeIndex.TopSum instead
+	free := append([]int64(nil), freePerNodeMB...)
+	//vet:alloc sort.Slice's interface conversion and closure live only on the fallback path
+	sort.Slice(free, func(i, j int) bool { return free[i] > free[j] })
+	var avail int64
+	for i := 0; i < maxSplit && i < len(free); i++ {
+		avail += free[i]
+	}
+	return avail
+}
+
 // Resolve returns a topology for a preset name or, when the name is not a
 // preset, treats it as a path to a JSON topology file. This is the lookup
 // the CLIs use.

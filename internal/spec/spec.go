@@ -189,7 +189,69 @@ type ClusterV1 struct {
 	// DeschedulePeriod is the defragmentation pass tick; zero disables the
 	// descheduler (the default).
 	DeschedulePeriod Duration `json:"deschedule_period,omitempty"`
+	// ArrivalProcess selects the arrival generator: "poisson" (default),
+	// "diurnal", "flash", or "trace".
+	ArrivalProcess string `json:"arrival_process,omitempty"`
+	// DiurnalPeriod is the diurnal sinusoid's period (default: the
+	// horizon) and DiurnalAmplitude its swing in [0, 1] around
+	// ArrivalsPerSecond (default 0.6). Both normalize to their concrete
+	// values only when ArrivalProcess is "diurnal".
+	DiurnalPeriod    Duration `json:"diurnal_period,omitempty"`
+	DiurnalAmplitude float64  `json:"diurnal_amplitude,omitempty"`
+	// FlashAt starts a flash-crowd window of FlashDuration during which
+	// the rate multiplies by FlashFactor (defaults: horizon/3,
+	// horizon/10, 8). Normalized only when ArrivalProcess is "flash".
+	FlashAt       Duration `json:"flash_at,omitempty"`
+	FlashDuration Duration `json:"flash_duration,omitempty"`
+	FlashFactor   float64  `json:"flash_factor,omitempty"`
+	// ArrivalTrace is the recorded stream the "trace" process replays,
+	// sorted by at. Consecutive records sharing a non-empty group and the
+	// same at arrive together as one gang.
+	ArrivalTrace []ArrivalV1 `json:"arrival_trace,omitempty"`
+	// PlaceCheck cross-validates every placement of the incremental
+	// engine against a full rescan, failing the run on the first
+	// divergence. Diagnostic only: results are byte-identical either way,
+	// so — like Workers — it is zeroed out of the canonical Key.
+	PlaceCheck bool `json:"place_check,omitempty"`
 }
+
+// ArrivalV1 is one recorded VM arrival of a ClusterV1 arrival trace:
+// when the request arrives, the VM's shape and priority class, its
+// lifetime once placed, and the workloads on its VCPUs.
+type ArrivalV1 struct {
+	At       Duration `json:"at"`
+	MemoryMB int64    `json:"memory_mb"`
+	VCPUs    int      `json:"vcpus"`
+	// Priority is the admission class: 0 best-effort (default),
+	// 1 standard, 2 critical.
+	Priority int `json:"priority,omitempty"`
+	// Group gangs consecutive same-instant records together.
+	//vet:spec any string is a valid gang label; gang assembly itself is a runtime concern
+	Group    string   `json:"group,omitempty"`
+	Lifetime Duration `json:"lifetime"`
+	// Profiles are per-VCPU workload references: a catalog name ("mcf"),
+	// "memcached:<clients>", or "redis:<connections>"; VCPUs beyond the
+	// list idle.
+	Profiles []string `json:"profiles,omitempty"`
+}
+
+// internal lowers one record onto the cluster trace schema, so Validate
+// enforces exactly the per-record rules the runtime does.
+func (a ArrivalV1) internal() cluster.TraceArrival {
+	return cluster.TraceArrival{
+		AtUS:     a.At.Std().Microseconds(),
+		MemoryMB: a.MemoryMB,
+		VCPUs:    a.VCPUs,
+		Priority: a.Priority,
+		Group:    a.Group,
+		LifeUS:   a.Lifetime.Std().Microseconds(),
+		Profiles: a.Profiles,
+	}
+}
+
+// ArrivalProcesses lists the arrival generators a ClusterV1 accepts,
+// sorted.
+func ArrivalProcesses() []string { return cluster.ArrivalProcesses() }
 
 // Mixes lists the workload mixes a ClusterV1 accepts, sorted.
 func Mixes() []string { return []string{"batch", "mixed", "server"} }
@@ -385,6 +447,35 @@ func (c ClusterV1) Normalize() ClusterV1 {
 	if c.GangFraction > 0 && c.GangSize == 0 {
 		c.GangSize = 3
 	}
+	if c.ArrivalProcess == "" {
+		c.ArrivalProcess = "poisson"
+	}
+	// Per-generator defaults become concrete only for the selected
+	// process, mirroring cluster.ArrivalConfig.normalized — a spec that
+	// switches process must not inherit another generator's shape.
+	switch c.ArrivalProcess {
+	case "diurnal":
+		if c.DiurnalPeriod == 0 {
+			c.DiurnalPeriod = c.Horizon
+		}
+		if c.DiurnalAmplitude == 0 {
+			c.DiurnalAmplitude = 0.6
+		}
+	case "flash":
+		if c.FlashFactor == 0 {
+			c.FlashFactor = 8
+		}
+		if c.FlashDuration == 0 {
+			c.FlashDuration = c.Horizon / 10
+		}
+		if c.FlashAt == 0 {
+			c.FlashAt = c.Horizon / 3
+		}
+	}
+	c.ArrivalTrace = append([]ArrivalV1(nil), c.ArrivalTrace...)
+	for i := range c.ArrivalTrace {
+		c.ArrivalTrace[i].Profiles = append([]string(nil), c.ArrivalTrace[i].Profiles...)
+	}
 	return c
 }
 
@@ -436,7 +527,54 @@ func (c ClusterV1) Validate() error {
 	if n.DeschedulePeriod < 0 {
 		return fmt.Errorf("%w: deschedule_period %v must not be negative", ErrInvalid, n.DeschedulePeriod.Std())
 	}
+	if !knownArrivalProcess(n.ArrivalProcess) {
+		return fmt.Errorf("%w: arrival_process %q (have %s)",
+			ErrInvalid, n.ArrivalProcess, strings.Join(ArrivalProcesses(), ", "))
+	}
+	if n.DiurnalPeriod < 0 {
+		return fmt.Errorf("%w: diurnal_period %v must not be negative", ErrInvalid, n.DiurnalPeriod.Std())
+	}
+	if n.DiurnalAmplitude < 0 || n.DiurnalAmplitude > 1 {
+		return fmt.Errorf("%w: diurnal_amplitude %v must be in [0, 1]", ErrInvalid, n.DiurnalAmplitude)
+	}
+	if n.FlashAt < 0 || n.FlashDuration < 0 {
+		return fmt.Errorf("%w: flash_at %v / flash_duration %v must not be negative",
+			ErrInvalid, n.FlashAt.Std(), n.FlashDuration.Std())
+	}
+	if n.FlashFactor < 0 || (n.ArrivalProcess == "flash" && n.FlashFactor < 1) {
+		return fmt.Errorf("%w: flash_factor %v must be at least 1", ErrInvalid, n.FlashFactor)
+	}
+	if n.ArrivalProcess == "trace" && len(n.ArrivalTrace) == 0 {
+		return fmt.Errorf("%w: arrival_process \"trace\" needs a non-empty arrival_trace", ErrInvalid)
+	}
+	for i, rec := range n.ArrivalTrace {
+		// Spec-level field paths for the two fields whose runtime message
+		// would not name them; everything else delegates to the shared
+		// record rules.
+		if rec.Priority < 0 || rec.Priority > 2 {
+			return fmt.Errorf("%w: arrival_trace[%d].priority %d must be in [0, 2]", ErrInvalid, i, rec.Priority)
+		}
+		if rec.Lifetime <= 0 {
+			return fmt.Errorf("%w: arrival_trace[%d].lifetime %v must be positive", ErrInvalid, i, rec.Lifetime.Std())
+		}
+		if err := rec.internal().Validate(); err != nil {
+			return fmt.Errorf("%w: arrival_trace[%d]: %v", ErrInvalid, i, err) //vet:nowrap record detail only; ErrInvalid carries the chain
+		}
+		if i > 0 && rec.At < n.ArrivalTrace[i-1].At {
+			return fmt.Errorf("%w: arrival_trace[%d] at %v precedes arrival_trace[%d]",
+				ErrInvalid, i, rec.At.Std(), i-1)
+		}
+	}
 	return nil
+}
+
+func knownArrivalProcess(name string) bool {
+	for _, p := range cluster.ArrivalProcesses() {
+		if p == name {
+			return true
+		}
+	}
+	return false
 }
 
 func knownScheduler(name string) bool {
@@ -465,11 +603,15 @@ func (s ScenarioV1) Key() string {
 }
 
 // Key returns the canonical cache key of the cluster spec. The Workers
-// field is zeroed first: results are byte-identical at every worker count,
-// so runs differing only in parallelism share the cached result.
+// and PlaceCheck fields are zeroed first: results are byte-identical at
+// every worker count and with or without the placement shadow check, so
+// runs differing only in execution mechanics share the cached result.
+// The arrival-generator fields all stay in the key — they shape the
+// arrival stream, so they shape the result.
 func (c ClusterV1) Key() string {
 	n := c.Normalize()
 	n.Workers = 0
+	n.PlaceCheck = false
 	return canonicalKey("cluster-v1", n)
 }
 

@@ -271,3 +271,118 @@ func jsonEqual(t *testing.T, a, b any) bool {
 	}
 	return string(da) == string(db)
 }
+
+// TestClusterArrivalNormalize pins the per-process arrival defaults:
+// they fill only for the selected process, and the zero spec is Poisson.
+func TestClusterArrivalNormalize(t *testing.T) {
+	n := spec.ClusterV1{}.Normalize()
+	if n.ArrivalProcess != "poisson" {
+		t.Fatalf("default arrival_process %q", n.ArrivalProcess)
+	}
+	if n.DiurnalPeriod != 0 || n.DiurnalAmplitude != 0 || n.FlashFactor != 0 {
+		t.Fatal("poisson normalization filled another process's defaults")
+	}
+	d := spec.ClusterV1{ArrivalProcess: "diurnal"}.Normalize()
+	if d.DiurnalPeriod != d.Horizon || d.DiurnalAmplitude != 0.6 {
+		t.Fatalf("diurnal defaults: period %v amplitude %v",
+			d.DiurnalPeriod.Std(), d.DiurnalAmplitude)
+	}
+	f := spec.ClusterV1{ArrivalProcess: "flash"}.Normalize()
+	if f.FlashFactor != 8 || f.FlashDuration != f.Horizon/10 || f.FlashAt != f.Horizon/3 {
+		t.Fatalf("flash defaults: factor %v duration %v at %v",
+			f.FlashFactor, f.FlashDuration.Std(), f.FlashAt.Std())
+	}
+	// Normalize must deep-copy the trace so the canonical value cannot
+	// alias caller-held slices.
+	trace := []spec.ArrivalV1{{At: 0, MemoryMB: 1024, VCPUs: 1,
+		Lifetime: spec.Duration(time.Second), Profiles: []string{"mcf"}}}
+	tn := spec.ClusterV1{ArrivalProcess: "trace", ArrivalTrace: trace}.Normalize()
+	trace[0].Profiles[0] = "soplex"
+	if tn.ArrivalTrace[0].Profiles[0] != "mcf" {
+		t.Fatal("normalized trace aliases the caller's profile slice")
+	}
+}
+
+// TestClusterArrivalValidateErrors covers the arrival-side rejection
+// paths; each must wrap ErrInvalid and name the field.
+func TestClusterArrivalValidateErrors(t *testing.T) {
+	rec := spec.ArrivalV1{At: 0, MemoryMB: 1024, VCPUs: 1, Lifetime: spec.Duration(time.Second)}
+	cases := []struct {
+		name string
+		c    spec.ClusterV1
+		path string // substring the error must name
+	}{
+		{"process", spec.ClusterV1{ArrivalProcess: "bursty"}, "arrival_process"},
+		{"diurnal-period", spec.ClusterV1{ArrivalProcess: "diurnal",
+			DiurnalPeriod: spec.Duration(-time.Second)}, "diurnal_period"},
+		{"amplitude", spec.ClusterV1{ArrivalProcess: "diurnal",
+			DiurnalAmplitude: 1.5}, "diurnal_amplitude"},
+		{"flash-at", spec.ClusterV1{ArrivalProcess: "flash",
+			FlashAt: spec.Duration(-time.Second)}, "flash_at"},
+		{"flash-factor", spec.ClusterV1{ArrivalProcess: "flash",
+			FlashFactor: 0.5}, "flash_factor"},
+		{"empty-trace", spec.ClusterV1{ArrivalProcess: "trace"}, "non-empty arrival_trace"},
+		{"priority", spec.ClusterV1{ArrivalProcess: "trace",
+			ArrivalTrace: []spec.ArrivalV1{func() spec.ArrivalV1 { r := rec; r.Priority = 3; return r }()}},
+			"arrival_trace[0].priority"},
+		{"lifetime", spec.ClusterV1{ArrivalProcess: "trace",
+			ArrivalTrace: []spec.ArrivalV1{func() spec.ArrivalV1 { r := rec; r.Lifetime = 0; return r }()}},
+			"arrival_trace[0].lifetime"},
+		{"record", spec.ClusterV1{ArrivalProcess: "trace",
+			ArrivalTrace: []spec.ArrivalV1{func() spec.ArrivalV1 { r := rec; r.MemoryMB = 0; return r }()}},
+			"arrival_trace[0]"},
+		{"profile", spec.ClusterV1{ArrivalProcess: "trace",
+			ArrivalTrace: []spec.ArrivalV1{func() spec.ArrivalV1 { r := rec; r.Profiles = []string{"doom"}; return r }()}},
+			"arrival_trace[0]"},
+		{"unsorted", spec.ClusterV1{ArrivalProcess: "trace",
+			ArrivalTrace: []spec.ArrivalV1{
+				func() spec.ArrivalV1 { r := rec; r.At = spec.Duration(5 * time.Second); return r }(),
+				func() spec.ArrivalV1 { r := rec; r.At = spec.Duration(2 * time.Second); return r }()}},
+			"precedes"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.c.Validate()
+			if !errors.Is(err, spec.ErrInvalid) {
+				t.Fatalf("Validate() = %v, want ErrInvalid", err)
+			}
+			if !strings.Contains(err.Error(), tc.path) {
+				t.Fatalf("Validate() = %v, want mention of %q", err, tc.path)
+			}
+		})
+	}
+	good := spec.ClusterV1{ArrivalProcess: "trace", ArrivalTrace: []spec.ArrivalV1{rec}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid trace spec rejected: %v", err)
+	}
+}
+
+// TestClusterKeyArrivalFields pins the cache-key contract: arrival
+// parameters shape results so they must move the key; PlaceCheck only
+// verifies results so it must not.
+func TestClusterKeyArrivalFields(t *testing.T) {
+	base := spec.ClusterV1{Hosts: 2, Seed: 5}
+	pc := base
+	pc.PlaceCheck = true
+	if base.Key() != pc.Key() {
+		t.Error("place_check changed the cluster key")
+	}
+	variants := map[string]spec.ClusterV1{
+		"process":   {Hosts: 2, Seed: 5, ArrivalProcess: "diurnal"},
+		"amplitude": {Hosts: 2, Seed: 5, ArrivalProcess: "diurnal", DiurnalAmplitude: 0.3},
+		"flash":     {Hosts: 2, Seed: 5, ArrivalProcess: "flash", FlashFactor: 4},
+		"trace": {Hosts: 2, Seed: 5, ArrivalProcess: "trace",
+			ArrivalTrace: []spec.ArrivalV1{{At: 0, MemoryMB: 1024, VCPUs: 1,
+				Lifetime: spec.Duration(time.Second)}}},
+	}
+	seen := map[string]string{"base": base.Key()}
+	for name, v := range variants {
+		k := v.Key()
+		for prev, pk := range seen {
+			if k == pk {
+				t.Errorf("%s and %s share a key", name, prev)
+			}
+		}
+		seen[name] = k
+	}
+}
