@@ -192,6 +192,11 @@ type ClusterConfig struct {
 	// time series from the run (see NewTelemetry). A collector serves
 	// exactly one run; reusing one fails with ErrTelemetryAttached.
 	Telemetry *Telemetry
+	// Spans, when non-nil, records the placement flight recorder: VM
+	// lifecycle spans with per-plugin placement provenance, migration,
+	// preemption, gang, and backfill chains (see NewTracing). A recorder
+	// serves exactly one run; reusing one fails with ErrTracingAttached.
+	Spans *Tracing
 }
 
 // ClusterReport summarises a cluster run.
@@ -333,6 +338,17 @@ func RunCluster(ctx context.Context, cfg ClusterConfig) (*ClusterReport, error) 
 			return nil, err
 		}
 		ccfg.Telemetry = cfg.Telemetry.sampler
+	}
+	if cfg.Spans != nil {
+		seed := cfg.Seed
+		if seed == 0 {
+			seed = 1 // the cluster's own default, mirrored for span IDs
+		}
+		tracer, err := cfg.Spans.attach(seed)
+		if err != nil {
+			return nil, err
+		}
+		ccfg.Spans = tracer
 	}
 	if sink := cfg.Events; sink != nil {
 		ccfg.Events = func(ev cluster.Event) {

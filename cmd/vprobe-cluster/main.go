@@ -15,6 +15,7 @@
 //	               [-diurnal-amplitude f] [-flash-at d] [-flash-duration d]
 //	               [-flash-factor f] [-arrivals-in file.jsonl]
 //	               [-arrivals-out file.jsonl] [-place-check]
+//	               [-spans file.jsonl] [-chrome file.json]
 //	               [-metrics file.prom] [-metrics-every d]
 //
 // Durations are wall-style ("90s", "5m") and measured in simulated time.
@@ -29,6 +30,12 @@
 // -place-check cross-validates every placement decision of the
 // incremental engine against a full rescan and fails the run on the
 // first divergence.
+//
+// -spans records the placement flight recorder — VM lifecycle spans with
+// per-plugin filter/score provenance, migration, preemption, gang, and
+// backfill chains — as JSONL for vprobe-explain; -chrome exports the same
+// spans as Chrome trace-event JSON for Perfetto. Recording never changes
+// results: stdout stays byte-identical with spans on or off.
 package main
 
 import (
@@ -80,6 +87,8 @@ func main() {
 	llcLimit := flag.Float64("llc-limit", 50, "per-socket LLC pressure migration threshold")
 	remoteLimit := flag.Float64("remote-limit", 0.45, "remote-access ratio migration threshold")
 	trace := flag.Bool("trace", false, "stream cluster events to stderr")
+	spansOut := flag.String("spans", "", "write the placement span flight recorder as JSONL to this file (vprobe-explain input)")
+	chromeOut := flag.String("chrome", "", "write the spans as Chrome trace-event JSON to this file")
 	metrics := flag.String("metrics", "", "write Prometheus metrics to this file (plus a .jsonl time series next to it)")
 	metricsEvery := flag.Duration("metrics-every", time.Second, "virtual-time sampling period for -metrics")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -167,6 +176,11 @@ func main() {
 			sim.Duration(metricsEvery.Microseconds()))
 		cfg.Telemetry = sampler
 	}
+	var tracer *telemetry.Tracer
+	if *spansOut != "" || *chromeOut != "" {
+		tracer = telemetry.NewTracer(*seed, 0)
+		cfg.Spans = tracer
+	}
 	if *trace {
 		cfg.Events = func(ev cluster.Event) {
 			fmt.Fprintf(os.Stderr, "%12v %-14s %-7s %-8s %s\n",
@@ -196,6 +210,14 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Print(rep.String())
+	if tracer != nil {
+		if err := writeSpans(tracer, *spansOut, *chromeOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "(%d spans recorded, %d dropped)\n",
+			tracer.Len(), tracer.Dropped())
+	}
 	if sampler != nil {
 		if err := writeMetrics(sampler, *metrics); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -211,6 +233,28 @@ func main() {
 // jsonlPath places the time-series export next to the Prometheus file.
 func jsonlPath(promPath string) string {
 	return strings.TrimSuffix(promPath, ".prom") + ".jsonl"
+}
+
+// writeSpans exports the flight recorder to the requested files.
+func writeSpans(t *telemetry.Tracer, spansPath, chromePath string) error {
+	write := func(path string, export func(*os.File) error) error {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := export(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if err := write(spansPath, func(f *os.File) error { return t.WriteSpansJSONL(f) }); err != nil {
+		return err
+	}
+	return write(chromePath, func(f *os.File) error { return t.WriteChromeTrace(f) })
 }
 
 // writeMetrics exports the sampler: final state as Prometheus text to

@@ -52,6 +52,8 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write a heap profile (taken after the run) to this file")
 	metrics := flag.String("metrics", "", "run the instrumented standard scenario and write Prometheus metrics to this file (plus a .jsonl time series next to it)")
 	metricsEvery := flag.Duration("metrics-every", time.Second, "virtual-time sampling period for -metrics")
+	spansOut := flag.String("spans", "", "run the standard scenario and write its span flight recorder as JSONL to this file")
+	chromeOut := flag.String("chrome", "", "run the standard scenario and write its spans as Chrome trace-event JSON to this file")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: %s [flags] [experiment ...]\n\nexperiments:\n", os.Args[0])
 		for _, e := range experiments.All() {
@@ -72,12 +74,12 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	if *metrics != "" {
+	if *metrics != "" || *spansOut != "" || *chromeOut != "" {
 		if flag.NArg() > 0 {
-			fmt.Fprintf(os.Stderr, "-metrics runs the standard scenario; unexpected experiments: %v\n", flag.Args())
+			fmt.Fprintf(os.Stderr, "-metrics/-spans/-chrome run the standard scenario; unexpected experiments: %v\n", flag.Args())
 			os.Exit(2)
 		}
-		if err := runMetrics(ctx, *metrics, *metricsEvery, *seed); err != nil {
+		if err := runStandard(ctx, *metrics, *metricsEvery, *seed, *spansOut, *chromeOut); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -163,18 +165,27 @@ func main() {
 	}
 }
 
-// runMetrics runs the instrumented standard scenario for 30 virtual
+// runStandard runs the instrumented standard scenario for 30 virtual
 // seconds: a measured VM (striped memory, four soplex instances, guest
 // housekeeping on the rest) under the vprobe scheduler, beside a burner VM
 // of endless cache-hungry apps that keeps every PCPU contended to the
-// horizon. The final series go to promPath; the per-period time series go
-// next to it as JSON Lines.
-func runMetrics(ctx context.Context, promPath string, every time.Duration, seed uint64) error {
-	tele := vprobe.NewTelemetry(vprobe.TelemetryOptions{Every: every})
+// horizon. With promPath the final series go there and the per-period time
+// series next to it as JSON Lines; with spansPath/chromePath the span
+// flight recorder is exported as JSONL / Chrome trace-event JSON.
+func runStandard(ctx context.Context, promPath string, every time.Duration, seed uint64, spansPath, chromePath string) error {
+	var tele *vprobe.Telemetry
+	if promPath != "" {
+		tele = vprobe.NewTelemetry(vprobe.TelemetryOptions{Every: every})
+	}
+	var tracing *vprobe.Tracing
+	if spansPath != "" || chromePath != "" {
+		tracing = vprobe.NewTracing(vprobe.TracingOptions{})
+	}
 	s, err := vprobe.NewSimulator(vprobe.Config{
 		Scheduler: vprobe.SchedulerVProbe,
 		Seed:      seed,
 		Telemetry: tele,
+		Spans:     tracing,
 	})
 	if err != nil {
 		return err
@@ -205,12 +216,43 @@ func runMetrics(ctx context.Context, promPath string, every time.Duration, seed 
 		return err
 	}
 	fmt.Print(report)
-	if err := writeMetrics(tele, promPath); err != nil {
+	if tele != nil {
+		if err := writeMetrics(tele, promPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "(%d samples -> %s, %s)\n",
+			tele.Samples(), promPath, jsonlPath(promPath))
+	}
+	if tracing != nil {
+		if err := writeSpanExports(tracing, spansPath, chromePath); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "(%d spans recorded, %d dropped)\n",
+			tracing.Spans(), tracing.Dropped())
+	}
+	return nil
+}
+
+// writeSpanExports writes the flight recorder to the requested files.
+func writeSpanExports(tracing *vprobe.Tracing, spansPath, chromePath string) error {
+	write := func(path string, export func(*os.File) error) error {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := export(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if err := write(spansPath, func(f *os.File) error { return tracing.WriteSpans(f) }); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "(%d samples -> %s, %s)\n",
-		tele.Samples(), promPath, jsonlPath(promPath))
-	return nil
+	return write(chromePath, func(f *os.File) error { return tracing.WriteChromeTrace(f) })
 }
 
 // jsonlPath places the time-series export next to the Prometheus file.

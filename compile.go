@@ -41,7 +41,7 @@ type (
 )
 
 // CompileOptions carries the live, non-serializable attachments a caller
-// may hang on a compiled run. Both fields are optional.
+// may hang on a compiled run. All fields are optional.
 type CompileOptions struct {
 	// Events receives structured events exactly as Config.Events /
 	// ClusterConfig.Events would.
@@ -49,6 +49,24 @@ type CompileOptions struct {
 	// Telemetry collects metric time series exactly as Config.Telemetry /
 	// ClusterConfig.Telemetry would.
 	Telemetry *Telemetry
+	// Spans records the span flight recorder exactly as Config.Spans /
+	// ClusterConfig.Spans would. When nil and the spec sets trace, the
+	// compile layer creates a recorder itself (retrievable through
+	// Simulator.Tracing or ClusterConfig.Spans), honoring the spec's
+	// trace_limit.
+	Spans *Tracing
+}
+
+// compileSpans resolves the recorder for a compiled run: the caller's, or
+// a fresh one when the spec asks for tracing.
+func compileSpans(opts CompileOptions, trace bool, limit int) *Tracing {
+	if opts.Spans != nil {
+		return opts.Spans
+	}
+	if trace {
+		return NewTracing(TracingOptions{Limit: limit})
+	}
+	return nil
 }
 
 // CompileScenario lowers a ScenarioV1 onto a ready-to-run Simulator: it
@@ -70,6 +88,7 @@ func CompileScenario(s spec.ScenarioV1, opts CompileOptions) (*Simulator, time.D
 		PageMigration: n.PageMigration,
 		Events:        opts.Events,
 		Telemetry:     opts.Telemetry,
+		Spans:         compileSpans(opts, n.Trace, n.TraceLimit),
 	})
 	if err != nil {
 		return nil, 0, err
@@ -149,6 +168,7 @@ func CompileCluster(c spec.ClusterV1, opts CompileOptions) (ClusterConfig, error
 		PlaceCheck:        n.PlaceCheck,
 		Events:            opts.Events,
 		Telemetry:         opts.Telemetry,
+		Spans:             compileSpans(opts, n.Trace, n.TraceLimit),
 	}
 	for _, rec := range n.ArrivalTrace {
 		cfg.ArrivalTrace = append(cfg.ArrivalTrace, ClusterArrival{

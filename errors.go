@@ -26,6 +26,9 @@ var (
 	// ErrTelemetryAttached: the Telemetry collector was already handed to
 	// another run; each collector records exactly one.
 	ErrTelemetryAttached = errors.New("vprobe: telemetry already attached to a run")
+	// ErrTracingAttached: the Tracing recorder was already handed to
+	// another run; each recorder holds exactly one run's spans.
+	ErrTracingAttached = errors.New("vprobe: tracing already attached to a run")
 	// ErrAlreadyRun: the Simulator (or internal cluster) value has already
 	// completed a run; simulation state is consumed by running, so a
 	// second Run on the same value would continue from — and corrupt —

@@ -129,6 +129,15 @@ type Config struct {
 	// starts it on the cluster engine. Attaching telemetry never changes
 	// simulation results.
 	Telemetry *telemetry.Sampler
+	// Spans, when set, records the placement flight recorder: VM
+	// lifecycle, placement decisions with per-plugin filter/score
+	// provenance, and migration/preemption/gang/backfill/deschedule
+	// chains (see spans.go). The tracer must be fresh. Attaching spans
+	// never changes simulation results: recording is read-only over
+	// model state and happens only on the cluster engine goroutine, so
+	// both the simulation output and the span file are byte-identical at
+	// every worker count.
+	Spans *telemetry.Tracer
 }
 
 // normalized fills defaults.
@@ -217,6 +226,8 @@ type Cluster struct {
 	gangSeq int
 	// tel is the telemetry handle set (nil when telemetry is off).
 	tel *clusterTelemetry
+	// spans is the flight recorder (nil when span tracing is off).
+	spans *clusterSpans
 
 	// Incremental placement engine state (incremental.go, scorecache.go):
 	// viewSlice[i] points at hosts[i].view and never changes after New;
@@ -320,6 +331,9 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.Telemetry != nil {
 		c.attachTelemetry(cfg.Telemetry)
 	}
+	if cfg.Spans != nil {
+		c.attachSpans(cfg.Spans)
+	}
 	return c, nil
 }
 
@@ -335,6 +349,9 @@ func (c *Cluster) Run(ctx context.Context) (*Report, error) {
 	c.ran = true
 	c.ctx = ctx
 	if c.cfg.Telemetry != nil {
+		// Size the sample ring to the horizon so it never wraps and the
+		// export covers the whole run.
+		c.cfg.Telemetry.Reserve(int(c.cfg.Horizon/c.cfg.Telemetry.Period()) + 2)
 		c.cfg.Telemetry.Start(c.engine)
 	}
 	if c.cfg.Arrival.Process == ArrivalTrace {
@@ -361,6 +378,9 @@ func (c *Cluster) Run(ctx context.Context) (*Report, error) {
 	if err := c.syncHosts(sim.Time(c.cfg.Horizon)); err != nil {
 		return nil, err
 	}
+	// Close still-open spans (running VMs, in-flight migrations) at the
+	// horizon so the span file never contains open intervals.
+	c.spans.closeRun(sim.Time(c.cfg.Horizon))
 	return c.report(), nil
 }
 
@@ -444,6 +464,7 @@ func (c *Cluster) onArrival() {
 		c.stats.Arrivals++
 		c.pstats[prio].Arrivals++
 		c.recordArrival(vm, refs)
+		c.spans.vmArrive(vm)
 		c.emit(EventVMArrive, nil, vm, "vm %s arrives: %d MB, %d vcpus, %s%s",
 			spec.Name, spec.MemoryMB, spec.VCPUs, prio, gangTag(group))
 	}
@@ -665,6 +686,7 @@ func (c *Cluster) onDepart(vm *VM) {
 	c.markDirty(vm.Host)
 	vm.state = stateDeparted
 	c.stats.Departed++
+	c.spans.depart(vm)
 	c.emit(EventVMDepart, vm.Host, vm, "vm %s departs %s after %v",
 		vm.Spec.Name, vm.Host.Name, c.engine.Now().Sub(vm.arriveAt))
 	// The teardown freed capacity; give the queue a shot at it.
@@ -785,6 +807,7 @@ func (c *Cluster) startMigration(vm *VM, target *Host, plan MemPlan) {
 
 	cycles := c.migrator.FullCopyCycles(vm.Spec.MemoryMB)
 	blackout := sim.Duration(cycles / target.Top.CyclesPerMicrosecond())
+	c.spans.migrateStart(vm, src, target, blackout)
 	c.emit(EventMigrateStart, src, vm,
 		"vm %s migrating %s -> %s (%d MB, blackout %v)",
 		vm.Spec.Name, src.Name, target.Name, vm.Spec.MemoryMB, blackout)
@@ -811,6 +834,7 @@ func (c *Cluster) finishMigration(vm *VM) {
 	// Activation flips the domain's VCPUs runnable, which moves the
 	// view's LLC pressure — a placement delta like any other.
 	c.markDirty(vm.Host)
+	c.spans.migrateDone(vm)
 	c.emit(EventMigrateDone, vm.Host, vm,
 		"vm %s resumed on %s", vm.Spec.Name, vm.Host.Name)
 }

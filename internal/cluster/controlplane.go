@@ -156,6 +156,7 @@ func (c *Cluster) attemptUnit(u *admitUnit) admitResult {
 			vm.state = stateRejected
 			c.stats.Rejected++
 			c.pstats[vm.Spec.Priority].Rejected++
+			c.spans.reject(vm, u.retries)
 			c.emit(EventVMReject, nil, vm, "vm %s rejected after %d attempts",
 				vm.Spec.Name, u.retries)
 		}
@@ -168,6 +169,7 @@ func (c *Cluster) attemptUnit(u *admitUnit) admitResult {
 	if u.gang {
 		what = fmt.Sprintf("gang %s (%d VMs)", u.vms[0].Spec.Group, len(u.vms))
 	}
+	c.spans.retry(u, backoff)
 	c.emit(EventVMRetry, nil, u.vms[0], "%s queued (attempt %d, retry in %v)",
 		what, u.retries, backoff)
 	c.engine.Schedule(backoff, "retry", func(*sim.Engine) {
@@ -183,7 +185,14 @@ func (c *Cluster) attemptUnit(u *admitUnit) admitResult {
 // preemption for above-best-effort classes when enabled.
 func (c *Cluster) tryAdmitSingle(u *admitUnit) bool {
 	vm := u.vms[0]
-	if hv, plan, err := c.place(&vm.Spec); err == nil {
+	hv, plan, err := c.place(&vm.Spec)
+	if c.spans != nil {
+		// Record the decision's provenance before acting on it: placeOn
+		// mutates the host, and the breakdown must reflect the views the
+		// decision actually read.
+		c.spans.placeDecision(vm, c.liveViews(), hv, err, u.retries+1)
+	}
+	if err == nil {
 		c.placeOn(vm, c.hosts[hv.Index], plan, u.retries+1)
 		return c.err == nil
 	}
@@ -224,6 +233,11 @@ func (c *Cluster) tryPreemptFor(u *admitUnit, vm *VM) bool {
 	// arrival simply stays queued (the victims are already safe: migrated
 	// or requeued).
 	hv, mplan, err := c.pipeline.Place(&vm.Spec, c.liveView(target))
+	if c.spans != nil {
+		// The post-eviction re-place is restricted to the planned host;
+		// its provenance explains that single candidate.
+		c.spans.placeDecision(vm, c.liveView(target), hv, err, u.retries+1)
+	}
 	if err != nil {
 		return false
 	}
@@ -249,13 +263,22 @@ func (c *Cluster) evictVictim(victim, beneficiary *VM) {
 	c.altScratch = alt[:0]
 	c.stats.Preemptions++
 	if hv, plan, err := c.pipeline.Place(&victim.Spec, alt); err == nil {
+		target := c.hosts[hv.Index]
+		if c.spans != nil {
+			// Price the eviction with the same page-copy blackout the
+			// migration itself will pay.
+			cycles := c.migrator.FullCopyCycles(victim.Spec.MemoryMB)
+			c.spans.preempt(victim, beneficiary, "live-migrating to "+hv.Name,
+				sim.Duration(cycles/target.Top.CyclesPerMicrosecond()))
+		}
 		c.emit(EventVMPreempted, src, victim,
 			"vm %s preempted off %s for %s, migrating to %s",
 			victim.Spec.Name, src.Name, beneficiary.Spec.Name, hv.Name)
-		c.startMigration(victim, c.hosts[hv.Index], plan)
+		c.startMigration(victim, target, plan)
 		return
 	}
 	c.stats.PreemptKills++
+	c.spans.preempt(victim, beneficiary, "killed and requeued", 0)
 	c.emit(EventVMPreempted, src, victim,
 		"vm %s preempted off %s for %s, killed and requeued",
 		victim.Spec.Name, src.Name, beneficiary.Spec.Name)
@@ -360,6 +383,7 @@ func (c *Cluster) tryAdmitGang(u *admitUnit) bool {
 		c.finalizePlacement(vm, slots[i].host, doms[i], slots[i].plan, u.retries+1)
 	}
 	c.stats.GangsAdmitted++
+	c.spans.gangAdmitted(u)
 	c.emit(EventGangAdmitted, nil, u.vms[0], "gang %s admitted: %d VMs placed all-or-nothing",
 		u.vms[0].Spec.Group, len(u.vms))
 	return true
@@ -389,6 +413,12 @@ func (c *Cluster) tryBackfill(u, head *admitUnit) bool {
 	}
 	if !controlplane.CanBackfill(req, res, caps, deps, c.cpFit, cand) {
 		return false
+	}
+	if c.spans != nil {
+		// The decision's views are unchanged since c.place: the shadow
+		// reservation works on copied caps, never the hosts.
+		c.spans.placeDecision(vm, c.liveViews(), hv, nil, u.retries+1)
+		c.spans.backfill(vm, c.hosts[hv.Index], headVM)
 	}
 	c.placeOn(vm, c.hosts[hv.Index], plan, u.retries+1)
 	if c.err != nil {
@@ -440,6 +470,7 @@ func (c *Cluster) deschedule() {
 			continue // capacity moved since the plan; skip this move
 		}
 		c.stats.DeschedMoves++
+		c.spans.deschedMove(vm, src, c.hosts[hv.Index])
 		c.emit(EventDeschedule, src, vm, "vm %s drained off %s to %s (defrag)",
 			vm.Spec.Name, src.Name, c.hosts[hv.Index].Name)
 		c.startMigration(vm, c.hosts[hv.Index], mplan)

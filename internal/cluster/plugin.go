@@ -188,6 +188,100 @@ func (pl *Pipeline) Place(spec *VMSpec, views []*HostView) (*HostView, MemPlan, 
 	return best, plan, nil
 }
 
+// PluginVeto is one host a filter plugin excluded, with its reason.
+type PluginVeto struct {
+	Host   string
+	Reason string
+}
+
+// FilterReport is one filter plugin's verdict over the candidate set.
+// Vetoes lists only the hosts this plugin excluded (a host vetoed by an
+// earlier plugin is never shown to later ones, mirroring Place's
+// first-veto-wins loop).
+type FilterReport struct {
+	Plugin   string
+	Admitted int
+	Vetoes   []PluginVeto
+}
+
+// ScoreReport is one score plugin's contribution to a candidate's total.
+type ScoreReport struct {
+	Plugin   string
+	Weight   float64
+	Raw      float64
+	Weighted float64
+}
+
+// CandidateReport is one feasible host's full scoring breakdown.
+type CandidateReport struct {
+	Host   string
+	Index  int
+	Total  float64
+	Scores []ScoreReport
+}
+
+// Explanation is the complete provenance of one placement decision:
+// every filter's verdict and the top-scoring candidates with per-plugin
+// breakdowns. Candidates[0] is the winner when Feasible > 0.
+type Explanation struct {
+	Feasible   int
+	Filters    []FilterReport
+	Candidates []CandidateReport // sorted by (Total desc, Index asc), capped at topN
+}
+
+// Explain recomputes the decision Place (and the incremental score cache,
+// which -place-check proves equivalent) makes over views, reporting the
+// full per-plugin breakdown. It mirrors Place exactly — same first-veto
+// filter loop, same weighted sum, same lowest-index tie-break — so
+// Candidates[0].Host is the host Place returns. Explain allocates freely:
+// it runs once per recorded decision on the provenance path, never on the
+// placement hot path.
+func (pl *Pipeline) Explain(spec *VMSpec, views []*HostView, topN int) Explanation {
+	ex := Explanation{}
+	filters := make([]FilterReport, len(pl.Filters))
+	for i, f := range pl.Filters {
+		filters[i].Plugin = f.Name()
+	}
+	var feasible []*HostView
+	for _, hv := range views {
+		admitted := true
+		for i, f := range pl.Filters {
+			if err := f.Filter(spec, hv); err != nil {
+				filters[i].Vetoes = append(filters[i].Vetoes, PluginVeto{hv.Name, err.Error()})
+				admitted = false
+				break
+			}
+			filters[i].Admitted++
+		}
+		if admitted {
+			feasible = append(feasible, hv)
+		}
+	}
+	ex.Feasible = len(feasible)
+	for _, hv := range feasible {
+		cand := CandidateReport{Host: hv.Name, Index: hv.Index,
+			Scores: make([]ScoreReport, len(pl.Scorers))}
+		for i, ws := range pl.Scorers {
+			raw := ws.Plugin.Score(spec, hv)
+			cand.Scores[i] = ScoreReport{Plugin: ws.Plugin.Name(), Weight: ws.Weight,
+				Raw: raw, Weighted: ws.Weight * raw}
+			cand.Total += ws.Weight * raw
+		}
+		ex.Candidates = append(ex.Candidates, cand)
+	}
+	sort.SliceStable(ex.Candidates, func(i, j int) bool {
+		if ex.Candidates[i].Total != ex.Candidates[j].Total {
+			return ex.Candidates[i].Total > ex.Candidates[j].Total
+		}
+		return ex.Candidates[i].Index < ex.Candidates[j].Index
+	})
+	if topN > 0 && len(ex.Candidates) > topN {
+		ex.Candidates = ex.Candidates[:topN]
+	}
+	ex.Filters = filters
+	return ex
+}
+
 // ---- Built-in filter plugins ----
 
 // CapacityFilter is the baseline admission check: the VM's memory must fit

@@ -1,0 +1,201 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"vprobe/internal/sim"
+	"vprobe/internal/telemetry"
+)
+
+// runSpans runs cfg with a flight recorder attached and returns the
+// rendered report, the event log, and the span JSONL export.
+func runSpans(t *testing.T, cfg Config) (report, log string, spans []byte) {
+	t.Helper()
+	var logB strings.Builder
+	cfg.Events = func(ev Event) {
+		fmt.Fprintf(&logB, "%v %s %s %s %s\n", ev.At, ev.Kind, ev.Host, ev.VM, ev.Detail)
+	}
+	tr := telemetry.NewTracer(cfg.Seed, 0)
+	cfg.Spans = tr
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Dropped() != 0 {
+		t.Fatalf("tracer dropped %d spans at the default limit", tr.Dropped())
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteSpansJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return rep.String(), logB.String(), buf.Bytes()
+}
+
+// controlPlaneCfg exercises every recorded decision kind: an overloaded
+// cluster with preemption, gangs, backfill, and descheduling all on.
+func controlPlaneCfg(workers int) Config {
+	return Config{
+		Hosts:             2,
+		Horizon:           120 * sim.Second,
+		Seed:              5,
+		ArrivalsPerSecond: 1.0,
+		MeanLifetime:      500 * sim.Second,
+		Preempt:           true,
+		Gang:              true,
+		GangFraction:      0.2,
+		GangSize:          2,
+		Backfill:          true,
+		Workers:           workers,
+	}
+}
+
+// TestClusterSpansDeterministicAcrossWorkers is the flight recorder's
+// acceptance criterion: a fixed seed produces byte-identical span files at
+// workers 1/4/8 and across two runs of the same seed.
+func TestClusterSpansDeterministicAcrossWorkers(t *testing.T) {
+	_, _, want := runSpans(t, controlPlaneCfg(1))
+	if len(want) == 0 {
+		t.Fatal("control-plane run recorded no spans")
+	}
+	for _, workers := range []int{4, 8} {
+		_, _, got := runSpans(t, controlPlaneCfg(workers))
+		if !bytes.Equal(got, want) {
+			t.Fatalf("span file at workers=%d differs from workers=1", workers)
+		}
+	}
+	_, _, again := runSpans(t, controlPlaneCfg(8))
+	if !bytes.Equal(again, want) {
+		t.Fatal("two same-seed runs produced different span files")
+	}
+}
+
+// TestClusterOutputIdenticalWithSpans is the observer contract: attaching
+// the flight recorder must not change the report or the event log by a
+// single byte, at any worker count.
+func TestClusterOutputIdenticalWithSpans(t *testing.T) {
+	for _, workers := range []int{1, 4, 8} {
+		cfg := controlPlaneCfg(workers)
+		baseRep, baseLog := runWith(t, cfg)
+		tracedRep, tracedLog, _ := runSpans(t, controlPlaneCfg(workers))
+		if tracedRep != baseRep.String() {
+			t.Fatalf("workers=%d: report differs with spans on", workers)
+		}
+		if tracedLog != baseLog {
+			t.Fatalf("workers=%d: event log differs with spans on", workers)
+		}
+	}
+}
+
+// TestClusterSpansMatchPlaceCheck runs spans and the -place-check shadow
+// rescan together: Explain (which the recorder uses for the per-plugin
+// breakdown) must agree with the incremental score cache on every
+// decision, so the span file never contains a MISMATCH note and the
+// shadow check never fires.
+func TestClusterSpansMatchPlaceCheck(t *testing.T) {
+	cfg := controlPlaneCfg(4)
+	cfg.PlaceCheck = true
+	_, _, spans := runSpans(t, cfg)
+	if bytes.Contains(spans, []byte("MISMATCH")) {
+		t.Fatalf("span file contains an explain/decision mismatch:\n%s", spans)
+	}
+}
+
+// TestClusterSpansExplainChain loads the recorded span file back the way
+// vprobe-explain does and checks the provenance answers: every control
+// plane mechanism left its span kind, and a placed VM's "why" carries the
+// per-plugin filter and score breakdown.
+func TestClusterSpansExplainChain(t *testing.T) {
+	_, log, raw := runSpans(t, controlPlaneCfg(1))
+	spans, err := telemetry.ReadSpans(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[telemetry.SpanKind]int{}
+	for i := range spans {
+		kinds[spans[i].Kind]++
+	}
+	for _, kind := range []telemetry.SpanKind{
+		telemetry.SpanRun, telemetry.SpanVM, telemetry.SpanPlace,
+		telemetry.SpanFilter, telemetry.SpanScore, telemetry.SpanCandidate,
+		telemetry.SpanPreempt,
+	} {
+		if kinds[kind] == 0 {
+			t.Fatalf("no %q spans recorded; kinds: %v", kind, kinds)
+		}
+	}
+	ix := telemetry.NewSpanIndex(spans)
+
+	// Find a VM the event log shows as placed and ask why.
+	var placed string
+	for _, line := range strings.Split(log, "\n") {
+		if strings.Contains(line, string(EventVMPlace)) {
+			placed = strings.Fields(line)[3]
+			break
+		}
+	}
+	if placed == "" {
+		t.Fatal("event log shows no placement")
+	}
+	why, err := ix.ExplainWhy(placed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"decision place " + placed, "filters:", "scores for", "candidates:"} {
+		if !strings.Contains(why, want) {
+			t.Fatalf("ExplainWhy(%s) missing %q:\n%s", placed, want, why)
+		}
+	}
+
+	// A preemption event in the log must be answerable from the spans.
+	var victim string
+	for _, line := range strings.Split(log, "\n") {
+		if strings.Contains(line, string(EventVMPreempted)) {
+			victim = strings.Fields(line)[3]
+			break
+		}
+	}
+	if victim == "" {
+		t.Fatal("control-plane run never preempted")
+	}
+	pre, err := ix.ExplainPreempted(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(pre, victim+" preempted off") {
+		t.Fatalf("ExplainPreempted(%s) = %q", victim, pre)
+	}
+}
+
+// TestClusterSpansChromeExport validates the Chrome trace-event twin of
+// the JSONL file with the independent checker.
+func TestClusterSpansChromeExport(t *testing.T) {
+	cfg := controlPlaneCfg(1)
+	tr := telemetry.NewTracer(cfg.Seed, 0)
+	cfg.Spans = tr
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	n, err := telemetry.ValidateChromeTrace(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n <= tr.Len() {
+		t.Fatalf("chrome export has %d events for %d spans; metadata missing", n, tr.Len())
+	}
+}

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -8,6 +9,7 @@ import (
 	"strconv"
 
 	"vprobe/internal/spec"
+	"vprobe/internal/telemetry"
 )
 
 // decodeSpec reads and decodes a request body into dst, enforcing the
@@ -171,6 +173,131 @@ func (s *Server) handleRunEvents(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+}
+
+// handleRunSpans streams the run's span flight recorder: the JSONL span
+// stream by default (vprobe-explain's input format), Chrome trace-event
+// JSON with ?format=chrome. Runs whose spec did not set trace answer 404
+// — including cache hits, where the cached result was recorded without
+// tracing (the canonical key zeroes the trace fields).
+func (s *Server) handleRunSpans(w http.ResponseWriter, r *http.Request) {
+	rn := s.runFromPath(w, r)
+	if rn == nil {
+		return
+	}
+	contentType := "application/jsonl"
+	pick := func(rn *Run) []byte { return rn.spans }
+	switch r.URL.Query().Get("format") {
+	case "", "jsonl":
+	case "chrome":
+		contentType = "application/json"
+		pick = func(rn *Run) []byte { return rn.chrome }
+	default:
+		writeError(w, fmt.Errorf("%w: format %q (have jsonl, chrome)",
+			spec.ErrInvalid, r.URL.Query().Get("format")))
+		return
+	}
+	rn.mu.Lock()
+	state, traced, body := rn.state, rn.traced, pick(rn)
+	rn.mu.Unlock()
+	if state != StateDone {
+		writeJSON(w, http.StatusConflict, map[string]any{
+			"error":  fmt.Sprintf("serve: run %s is %s, artifacts exist once done", rn.ID, state),
+			"status": http.StatusConflict,
+		})
+		return
+	}
+	if !traced {
+		writeJSON(w, http.StatusNotFound, map[string]any{
+			"error":  fmt.Sprintf("serve: run %s recorded no spans; POST the spec with \"trace\": true", rn.ID),
+			"status": http.StatusNotFound,
+		})
+		return
+	}
+	w.Header().Set("Content-Type", contentType)
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
+}
+
+// handleRunExplain answers placement provenance queries over a traced
+// run's recorded spans: ?vm=NAME with q=why (default: why did the VM land
+// where it did), q=why-not&host=H (why was H not chosen), q=rejected,
+// q=preempted, or q=timeline (the VM's full span timeline). Without ?vm
+// it lists the recorded VMs and a span summary.
+func (s *Server) handleRunExplain(w http.ResponseWriter, r *http.Request) {
+	rn := s.runFromPath(w, r)
+	if rn == nil {
+		return
+	}
+	rn.mu.Lock()
+	state, traced, body := rn.state, rn.traced, rn.spans
+	rn.mu.Unlock()
+	if state != StateDone {
+		writeJSON(w, http.StatusConflict, map[string]any{
+			"error":  fmt.Sprintf("serve: run %s is %s, artifacts exist once done", rn.ID, state),
+			"status": http.StatusConflict,
+		})
+		return
+	}
+	if !traced {
+		writeJSON(w, http.StatusNotFound, map[string]any{
+			"error":  fmt.Sprintf("serve: run %s recorded no spans; POST the spec with \"trace\": true", rn.ID),
+			"status": http.StatusNotFound,
+		})
+		return
+	}
+	spans, err := telemetry.ReadSpans(bytes.NewReader(body))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	ix := telemetry.NewSpanIndex(spans)
+	q := r.URL.Query()
+	vm, query := q.Get("vm"), q.Get("q")
+	if vm == "" {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"run":     rn.ID,
+			"vms":     ix.VMs(),
+			"summary": ix.Summary(),
+		})
+		return
+	}
+	var answer string
+	switch query {
+	case "", "why":
+		query = "why"
+		answer, err = ix.ExplainWhy(vm)
+	case "why-not":
+		host := q.Get("host")
+		if host == "" {
+			writeError(w, fmt.Errorf("%w: q=why-not needs a host parameter", spec.ErrInvalid))
+			return
+		}
+		answer, err = ix.ExplainWhyNot(vm, host)
+	case "rejected":
+		answer, err = ix.ExplainRejected(vm)
+	case "preempted":
+		answer, err = ix.ExplainPreempted(vm)
+	case "timeline":
+		answer, err = ix.ExplainVM(vm)
+	default:
+		writeError(w, fmt.Errorf("%w: q %q (have why, why-not, rejected, preempted, timeline)",
+			spec.ErrInvalid, query))
+		return
+	}
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, map[string]any{
+			"error":  err.Error(),
+			"status": http.StatusNotFound,
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"run":    rn.ID,
+		"vm":     vm,
+		"q":      query,
+		"answer": answer,
+	})
 }
 
 // handleRunTelemetry serves the run's metric time series as JSONL.

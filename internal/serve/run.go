@@ -51,6 +51,9 @@ type Run struct {
 	summary   any    // JSON summary of the report
 	telemetry []byte // JSONL time series, set at completion
 	prom      []byte // Prometheus text exposition, set at completion
+	traced    bool   // the spec asked for span tracing
+	spans     []byte // JSONL span stream, set at completion when traced
+	chrome    []byte // Chrome trace-event JSON, set at completion when traced
 }
 
 func newRun(id, kind, key string) *Run {
@@ -289,7 +292,7 @@ func (s *Server) scenarioBody(sp spec.ScenarioV1) func(ctx context.Context, rn *
 		if err != nil {
 			return err
 		}
-		return rn.storeResult(rep.String(), scenarioSummary(rep), tele)
+		return rn.storeResult(rep.String(), scenarioSummary(rep), tele, sim.Tracing())
 	}
 }
 
@@ -308,12 +311,13 @@ func (s *Server) clusterBody(sp spec.ClusterV1) func(ctx context.Context, rn *Ru
 		if err != nil {
 			return err
 		}
-		return rn.storeResult(rep.String(), clusterSummary(rep), tele)
+		return rn.storeResult(rep.String(), clusterSummary(rep), tele, cfg.Spans)
 	}
 }
 
-// storeResult renders the run's immutable artifacts.
-func (rn *Run) storeResult(report string, summary any, tele *vprobe.Telemetry) error {
+// storeResult renders the run's immutable artifacts. spans is nil for
+// untraced runs — the spans and explain endpoints then answer 404.
+func (rn *Run) storeResult(report string, summary any, tele *vprobe.Telemetry, spans *vprobe.Tracing) error {
 	var series, prom bytes.Buffer
 	if err := tele.WriteJSONL(&series); err != nil {
 		return fmt.Errorf("serve: telemetry export: %w", err)
@@ -321,11 +325,25 @@ func (rn *Run) storeResult(report string, summary any, tele *vprobe.Telemetry) e
 	if err := tele.WritePrometheus(&prom); err != nil {
 		return fmt.Errorf("serve: telemetry export: %w", err)
 	}
+	var spanJSONL, chrome bytes.Buffer
+	if spans != nil {
+		if err := spans.WriteSpans(&spanJSONL); err != nil {
+			return fmt.Errorf("serve: span export: %w", err)
+		}
+		if err := spans.WriteChromeTrace(&chrome); err != nil {
+			return fmt.Errorf("serve: span export: %w", err)
+		}
+	}
 	rn.mu.Lock()
 	rn.report = report
 	rn.summary = summary
 	rn.telemetry = series.Bytes()
 	rn.prom = prom.Bytes()
+	if spans != nil {
+		rn.traced = true
+		rn.spans = spanJSONL.Bytes()
+		rn.chrome = chrome.Bytes()
+	}
 	rn.mu.Unlock()
 	return nil
 }

@@ -14,6 +14,8 @@
 //	POST /v1/clusters             run a ClusterV1  (sync; ?async=1 queues)
 //	GET  /v1/runs/{id}            run status and result
 //	GET  /v1/runs/{id}/events     JSONL event stream (follows a live run)
+//	GET  /v1/runs/{id}/spans      span flight recorder (JSONL; ?format=chrome)
+//	GET  /v1/runs/{id}/explain    placement provenance queries over the spans
 //	GET  /v1/runs/{id}/telemetry  JSONL metric time series of the run
 //	GET  /v1/runs/{id}/metrics    Prometheus text exposition of the run
 //	DELETE /v1/runs/{id}          cancel a live run
@@ -92,6 +94,8 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/runs/{id}", s.instrument("runs", s.handleRunGet))
 	s.mux.HandleFunc("DELETE /v1/runs/{id}", s.instrument("runs", s.handleRunCancel))
 	s.mux.HandleFunc("GET /v1/runs/{id}/events", s.instrument("events", s.handleRunEvents))
+	s.mux.HandleFunc("GET /v1/runs/{id}/spans", s.instrument("spans", s.handleRunSpans))
+	s.mux.HandleFunc("GET /v1/runs/{id}/explain", s.instrument("explain", s.handleRunExplain))
 	s.mux.HandleFunc("GET /v1/runs/{id}/telemetry", s.instrument("telemetry", s.handleRunTelemetry))
 	s.mux.HandleFunc("GET /v1/runs/{id}/metrics", s.instrument("telemetry", s.handleRunMetrics))
 	s.mux.HandleFunc("GET /v1/capacity", s.instrument("capacity", s.handleCapacity))
@@ -162,7 +166,8 @@ type serverMetrics struct {
 // series is pre-registered so scrape output is stable from the first
 // request.
 var metricEndpoints = []string{
-	"capacity", "clusters", "events", "runs", "simulations", "telemetry",
+	"capacity", "clusters", "events", "explain", "runs", "simulations",
+	"spans", "telemetry",
 }
 
 func newServerMetrics() *serverMetrics {

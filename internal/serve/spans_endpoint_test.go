@@ -1,0 +1,170 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+
+	"vprobe/internal/telemetry"
+)
+
+// tracedClusterJSON is clusterJSON with the flight recorder on.
+const tracedClusterJSON = `{
+  "hosts": 2, "horizon": "30s", "workers": 1, "trace": true
+}`
+
+// TestSpansEndpoint runs a traced cluster and exercises both span export
+// formats plus the format validation.
+func TestSpansEndpoint(t *testing.T) {
+	_, ts := testServer(t, Options{})
+	status, run := postJSON(t, ts.URL+"/v1/clusters", tracedClusterJSON)
+	if status != http.StatusOK {
+		t.Fatalf("POST status = %d, body %v", status, run)
+	}
+	id, _ := run["id"].(string)
+
+	status, raw := getBody(t, fmt.Sprintf("%s/v1/runs/%s/spans", ts.URL, id))
+	if status != http.StatusOK {
+		t.Fatalf("GET spans = %d: %s", status, raw)
+	}
+	spans, err := telemetry.ReadSpans(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) == 0 {
+		t.Fatal("traced run exported no spans")
+	}
+
+	status, chrome := getBody(t, fmt.Sprintf("%s/v1/runs/%s/spans?format=chrome", ts.URL, id))
+	if status != http.StatusOK {
+		t.Fatalf("GET chrome spans = %d", status)
+	}
+	if _, err := telemetry.ValidateChromeTrace(chrome); err != nil {
+		t.Fatal(err)
+	}
+
+	status, _ = getBody(t, fmt.Sprintf("%s/v1/runs/%s/spans?format=bogus", ts.URL, id))
+	if status != http.StatusBadRequest {
+		t.Fatalf("GET spans?format=bogus = %d, want 400", status)
+	}
+}
+
+// TestExplainEndpoint answers provenance queries over a traced scenario
+// and a traced cluster.
+func TestExplainEndpoint(t *testing.T) {
+	_, ts := testServer(t, Options{})
+	status, run := postJSON(t, ts.URL+"/v1/clusters", tracedClusterJSON)
+	if status != http.StatusOK {
+		t.Fatalf("POST status = %d", status)
+	}
+	id, _ := run["id"].(string)
+	explainURL := fmt.Sprintf("%s/v1/runs/%s/explain", ts.URL, id)
+
+	// No ?vm: the VM list and summary.
+	status, body := getBody(t, explainURL)
+	if status != http.StatusOK {
+		t.Fatalf("GET explain = %d: %s", status, body)
+	}
+	if !bytes.Contains(body, []byte(`"vms"`)) || !bytes.Contains(body, []byte("vm000")) {
+		t.Fatalf("explain index missing vms: %s", body)
+	}
+
+	for _, q := range []string{"", "q=why", "q=rejected", "q=preempted", "q=timeline"} {
+		url := explainURL + "?vm=vm000"
+		if q != "" {
+			url += "&" + q
+		}
+		status, body := getBody(t, url)
+		if status != http.StatusOK {
+			t.Fatalf("GET explain %s = %d: %s", q, status, body)
+		}
+		if !bytes.Contains(body, []byte(`"answer"`)) {
+			t.Fatalf("explain %s carries no answer: %s", q, body)
+		}
+	}
+
+	// The why answer must carry the per-plugin breakdown.
+	status, body = getBody(t, explainURL+"?vm=vm000&q=why")
+	if status != http.StatusOK || !bytes.Contains(body, []byte("filters")) {
+		t.Fatalf("explain why lacks the plugin breakdown (%d): %s", status, body)
+	}
+
+	// Errors: unknown vm is 404, why-not without host and unknown q are 400.
+	if status, _ := getBody(t, explainURL+"?vm=ghost"); status != http.StatusNotFound {
+		t.Fatalf("explain unknown vm = %d, want 404", status)
+	}
+	if status, _ := getBody(t, explainURL+"?vm=vm000&q=why-not"); status != http.StatusBadRequest {
+		t.Fatalf("explain why-not without host = %d, want 400", status)
+	}
+	if status, _ := getBody(t, explainURL+"?vm=vm000&q=frob"); status != http.StatusBadRequest {
+		t.Fatalf("explain unknown q = %d, want 400", status)
+	}
+}
+
+// TestScenarioTraceSpans covers the single-host path: a traced scenario
+// exports domain lifecycle spans.
+func TestScenarioTraceSpans(t *testing.T) {
+	_, ts := testServer(t, Options{})
+	traced := strings.Replace(scenarioJSON, `"scheduler": "vprobe",`,
+		`"scheduler": "vprobe", "trace": true,`, 1)
+	status, run := postJSON(t, ts.URL+"/v1/simulations", traced)
+	if status != http.StatusOK {
+		t.Fatalf("POST status = %d, body %v", status, run)
+	}
+	id, _ := run["id"].(string)
+	status, raw := getBody(t, fmt.Sprintf("%s/v1/runs/%s/spans", ts.URL, id))
+	if status != http.StatusOK {
+		t.Fatalf("GET spans = %d", status)
+	}
+	spans, err := telemetry.ReadSpans(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[telemetry.SpanKind]bool{}
+	for i := range spans {
+		kinds[spans[i].Kind] = true
+	}
+	if !kinds[telemetry.SpanRun] || !kinds[telemetry.SpanDomain] {
+		t.Fatalf("scenario spans missing run/domain kinds: %v", kinds)
+	}
+}
+
+// TestUntracedRunSpans404 pins the cache-key contract around tracing: the
+// trace fields are excluded from the determinism key, so a traced re-POST
+// of an untraced spec hits the untraced cache entry — and its span
+// endpoints answer 404 with an actionable message, not an empty stream.
+func TestUntracedRunSpans404(t *testing.T) {
+	_, ts := testServer(t, Options{})
+	status, run := postJSON(t, ts.URL+"/v1/clusters", clusterJSON)
+	if status != http.StatusOK {
+		t.Fatalf("POST status = %d", status)
+	}
+	id, _ := run["id"].(string)
+	for _, path := range []string{"spans", "explain"} {
+		status, body := getBody(t, fmt.Sprintf("%s/v1/runs/%s/%s", ts.URL, id, path))
+		if status != http.StatusNotFound {
+			t.Fatalf("GET %s on untraced run = %d, want 404", path, status)
+		}
+		if !bytes.Contains(body, []byte(`\"trace\": true`)) {
+			t.Fatalf("%s 404 lacks the actionable hint: %s", path, body)
+		}
+	}
+
+	// Same spec with trace on: cache hit, still the untraced entry.
+	status, second := postJSON(t, ts.URL+"/v1/clusters", tracedClusterJSON)
+	if status != http.StatusOK {
+		t.Fatalf("traced re-POST status = %d", status)
+	}
+	if cached, _ := second["cached"].(bool); !cached {
+		t.Fatal("trace flag changed the cache key")
+	}
+	id2, _ := second["id"].(string)
+	if id2 != id {
+		t.Fatalf("traced re-POST ran fresh: %s vs %s", id2, id)
+	}
+	if status, _ := getBody(t, fmt.Sprintf("%s/v1/runs/%s/spans", ts.URL, id2)); status != http.StatusNotFound {
+		t.Fatalf("cache-hit spans = %d, want 404 (cached result was untraced)", status)
+	}
+}

@@ -138,6 +138,13 @@ type ScenarioV1 struct {
 	Horizon Duration `json:"horizon,omitempty"`
 	// VMs is the virtual machine population (at least one).
 	VMs []VMV1 `json:"vms"`
+	// Trace records the run's span flight recorder (domain lifecycle
+	// spans). Diagnostic only: results are byte-identical with tracing on
+	// or off, so — like place_check on clusters — it is zeroed out of the
+	// canonical Key. TraceLimit caps recorded spans (0 = the default cap)
+	// and requires Trace.
+	Trace      bool `json:"trace,omitempty"`
+	TraceLimit int  `json:"trace_limit,omitempty"`
 }
 
 // ClusterV1 is the serializable form of a multi-host cluster run: the
@@ -213,6 +220,14 @@ type ClusterV1 struct {
 	// divergence. Diagnostic only: results are byte-identical either way,
 	// so — like Workers — it is zeroed out of the canonical Key.
 	PlaceCheck bool `json:"place_check,omitempty"`
+	// Trace records the placement flight recorder: VM lifecycle spans with
+	// per-plugin placement provenance, migration/preemption/gang/backfill
+	// chains. Diagnostic only (results are byte-identical with tracing on
+	// or off), so it is zeroed out of the canonical Key like Workers and
+	// PlaceCheck. TraceLimit caps recorded spans (0 = the default cap) and
+	// requires Trace.
+	Trace      bool `json:"trace,omitempty"`
+	TraceLimit int  `json:"trace_limit,omitempty"`
 }
 
 // ArrivalV1 is one recorded VM arrival of a ClusterV1 arrival trace:
@@ -344,6 +359,9 @@ func (s ScenarioV1) Validate() error {
 	}
 	if len(n.VMs) == 0 {
 		return fmt.Errorf("%w: vms must list at least one VM", ErrInvalid)
+	}
+	if err := validateTrace(n.Trace, n.TraceLimit); err != nil {
+		return err
 	}
 	seen := make(map[string]bool, len(n.VMs))
 	for i, vm := range n.VMs {
@@ -544,6 +562,9 @@ func (c ClusterV1) Validate() error {
 	if n.FlashFactor < 0 || (n.ArrivalProcess == "flash" && n.FlashFactor < 1) {
 		return fmt.Errorf("%w: flash_factor %v must be at least 1", ErrInvalid, n.FlashFactor)
 	}
+	if err := validateTrace(n.Trace, n.TraceLimit); err != nil {
+		return err
+	}
 	if n.ArrivalProcess == "trace" && len(n.ArrivalTrace) == 0 {
 		return fmt.Errorf("%w: arrival_process \"trace\" needs a non-empty arrival_trace", ErrInvalid)
 	}
@@ -564,6 +585,17 @@ func (c ClusterV1) Validate() error {
 			return fmt.Errorf("%w: arrival_trace[%d] at %v precedes arrival_trace[%d]",
 				ErrInvalid, i, rec.At.Std(), i-1)
 		}
+	}
+	return nil
+}
+
+// validateTrace checks the shared trace fields of both spec types.
+func validateTrace(trace bool, limit int) error {
+	if limit < 0 {
+		return fmt.Errorf("%w: trace_limit %d must not be negative", ErrInvalid, limit)
+	}
+	if limit > 0 && !trace {
+		return fmt.Errorf("%w: trace_limit requires trace", ErrInvalid)
 	}
 	return nil
 }
@@ -597,21 +629,29 @@ func knownPolicy(name string) bool {
 
 // Key returns the canonical cache key of the scenario: "scenario-v1-" plus
 // the SHA-256 (hex) of the normalized JSON. Two specs that mean the same
-// run — differing only in omitted defaults — share a key.
+// run — differing only in omitted defaults — share a key. The Trace
+// fields are zeroed first: tracing never changes results, so traced and
+// untraced runs share the cached result.
 func (s ScenarioV1) Key() string {
-	return canonicalKey("scenario-v1", s.Normalize())
+	n := s.Normalize()
+	n.Trace = false
+	n.TraceLimit = 0
+	return canonicalKey("scenario-v1", n)
 }
 
-// Key returns the canonical cache key of the cluster spec. The Workers
-// and PlaceCheck fields are zeroed first: results are byte-identical at
-// every worker count and with or without the placement shadow check, so
-// runs differing only in execution mechanics share the cached result.
-// The arrival-generator fields all stay in the key — they shape the
-// arrival stream, so they shape the result.
+// Key returns the canonical cache key of the cluster spec. The Workers,
+// PlaceCheck, and Trace fields are zeroed first: results are
+// byte-identical at every worker count, with or without the placement
+// shadow check, and with tracing on or off, so runs differing only in
+// execution mechanics share the cached result. The arrival-generator
+// fields all stay in the key — they shape the arrival stream, so they
+// shape the result.
 func (c ClusterV1) Key() string {
 	n := c.Normalize()
 	n.Workers = 0
 	n.PlaceCheck = false
+	n.Trace = false
+	n.TraceLimit = 0
 	return canonicalKey("cluster-v1", n)
 }
 

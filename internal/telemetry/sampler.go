@@ -8,11 +8,12 @@ import (
 	"vprobe/internal/sim"
 )
 
-// preallocRows is the number of sample rows (and row times) the ring
-// reserves at Start. 2048 rows covers over half an hour of simulated time
-// at the default one-second period; runs inside that envelope sample with
-// zero allocations, longer runs grow the ring amortized (outside the
-// steady-state guardrail windows, which are far shorter).
+// preallocRows is the default sample-row capacity of the ring. 2048 rows
+// covers over half an hour of simulated time at the default one-second
+// period. The ring is a true circular buffer: capacity is fixed at Start
+// (raise it with Reserve before Start when the horizon is known) and
+// snapshots past it overwrite the oldest rows, so the snapshot path never
+// allocates no matter how long the run.
 const preallocRows = 2048
 
 // cellKind selects how one ring cell reads its source series.
@@ -60,8 +61,10 @@ type Sampler struct {
 	period  sim.Duration
 	hooks   []func()
 	cells   []cell
+	capRows int
 	times   []sim.Time
-	data    []float64 // row-major: len(times) rows of len(cells) columns
+	data    []float64 // row-major: capRows rows of len(cells) columns
+	rows    int       // total snapshots taken (may exceed capRows)
 	started bool
 }
 
@@ -79,6 +82,19 @@ func (s *Sampler) Registry() *Registry { return s.reg }
 
 // Period returns the sampling period.
 func (s *Sampler) Period() sim.Duration { return s.period }
+
+// Reserve raises the ring's row capacity to at least rows before Start.
+// Run entry points that know the horizon call Reserve(horizon/period+2)
+// so the ring never wraps and the export covers the whole run; the
+// default capacity only matters for open-ended callers.
+func (s *Sampler) Reserve(rows int) {
+	if s.started {
+		panic("telemetry: Reserve after Start")
+	}
+	if rows > s.capRows {
+		s.capRows = rows
+	}
+}
 
 // OnSample registers a hook to run before each snapshot, after any hooks
 // registered earlier. Hooks must only read simulation state (never mutate
@@ -114,24 +130,49 @@ func (s *Sampler) Start(e *sim.Engine) {
 				cell{id: renderID(sr.name+"_count", sr.labels), kind: cellHistCount, h: sr.h})
 		}
 	}
-	s.times = make([]sim.Time, 0, preallocRows)
-	s.data = make([]float64, 0, preallocRows*len(s.cells))
+	if s.capRows < preallocRows {
+		s.capRows = preallocRows
+	}
+	s.times = make([]sim.Time, s.capRows)
+	s.data = make([]float64, s.capRows*len(s.cells))
 	e.Every(s.period, s.period, "telemetry-sample", func(e *sim.Engine) { s.snapshot(e.Now()) })
 }
 
-// snapshot runs the hooks and appends one row.
+// snapshot runs the hooks and writes one row into the ring, overwriting
+// the oldest row once capacity is exceeded. The whole path is
+// allocation-free: the backing arrays are sized at Start and only ever
+// written in place.
+//
+//vprobe:hotpath
 func (s *Sampler) snapshot(now sim.Time) {
 	for _, fn := range s.hooks {
 		fn()
 	}
-	s.times = append(s.times, now)
+	slot := s.rows % s.capRows
+	s.rows++
+	s.times[slot] = now
+	base := slot * len(s.cells)
 	for i := range s.cells {
-		s.data = append(s.data, s.cells[i].value())
+		s.data[base+i] = s.cells[i].value()
 	}
 }
 
-// Rows returns the number of samples captured so far.
-func (s *Sampler) Rows() int { return len(s.times) }
+// Rows returns the number of samples retained in the ring (total taken,
+// capped at the ring capacity).
+func (s *Sampler) Rows() int {
+	if s.rows > s.capRows && s.capRows > 0 {
+		return s.capRows
+	}
+	return s.rows
+}
+
+// row maps a logical row (0 = oldest retained) to its ring slot.
+func (s *Sampler) row(logical int) int {
+	if s.rows <= s.capRows {
+		return logical
+	}
+	return (s.rows + logical) % s.capRows
+}
 
 // WriteJSONL exports the ring as JSON Lines: one object per sample, with
 // "t" (the sample's virtual time in seconds) first and then one key per
@@ -143,7 +184,8 @@ func (s *Sampler) WriteJSONL(w io.Writer) error {
 		return fmt.Errorf("telemetry: WriteJSONL before Start")
 	}
 	buf := make([]byte, 0, 64*len(s.cells))
-	for row := 0; row < len(s.times); row++ {
+	for logical := 0; logical < s.Rows(); logical++ {
+		row := s.row(logical)
 		buf = buf[:0]
 		buf = append(buf, `{"t":`...)
 		buf = strconv.AppendFloat(buf, s.times[row].Seconds(), 'g', -1, 64)

@@ -1,0 +1,298 @@
+// Span exports: JSONL (one span object per line, the explain CLI's input
+// format) and Chrome trace-event JSON (loadable in Perfetto or
+// chrome://tracing), plus ValidateChromeTrace — the span twin of
+// ValidateExposition — and ReadSpans to load a JSONL span file back.
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+
+	"vprobe/internal/sim"
+)
+
+// spanWire is the JSONL wire form of a Span. IDs travel as hex strings:
+// uint64 does not round-trip through JSON numbers (IEEE doubles), and hex
+// keeps grep-able IDs short. Times are virtual seconds, costs virtual
+// microseconds (exact: sim.Duration is integral microseconds).
+type spanWire struct {
+	ID     string   `json:"id"`
+	Parent string   `json:"parent,omitempty"`
+	Kind   SpanKind `json:"kind"`
+	Name   string   `json:"name"`
+	Host   string   `json:"host,omitempty"`
+	VM     string   `json:"vm,omitempty"`
+	Start  float64  `json:"start"`
+	End    float64  `json:"end"`
+	Score  *float64 `json:"score,omitempty"`
+	CostUS *int64   `json:"cost_us,omitempty"`
+	Detail string   `json:"detail,omitempty"`
+}
+
+func spanToWire(s *Span) spanWire {
+	w := spanWire{
+		ID: strconv.FormatUint(s.ID, 16), Kind: s.Kind, Name: s.Name,
+		Host: s.Host, VM: s.VM,
+		Start: s.Start.Seconds(), End: s.End.Seconds(), Detail: s.Detail,
+	}
+	if s.Parent != 0 {
+		w.Parent = strconv.FormatUint(s.Parent, 16)
+	}
+	if s.hasScore {
+		sc := s.Score
+		w.Score = &sc
+	}
+	if s.hasCost {
+		us := s.Cost.Micros()
+		w.CostUS = &us
+	}
+	return w
+}
+
+// WriteSpansJSONL exports the recorded spans as JSON Lines in record
+// order. An empty tracer writes an empty (zero-line) stream, which is a
+// valid JSONL document.
+func (t *Tracer) WriteSpansJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for i := 0; i < t.Len(); i++ {
+		line, err := json.Marshal(spanToWire(t.span(SpanRef(i))))
+		if err != nil {
+			return err
+		}
+		if _, err := bw.Write(line); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSpans parses a JSONL span stream written by WriteSpansJSONL. An
+// empty stream yields an empty slice.
+func ReadSpans(r io.Reader) ([]Span, error) {
+	var out []Span
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var w spanWire
+		if err := json.Unmarshal(raw, &w); err != nil {
+			return nil, fmt.Errorf("telemetry: span line %d: %w", line, err)
+		}
+		id, err := strconv.ParseUint(w.ID, 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: span line %d: bad id %q", line, w.ID)
+		}
+		var parent uint64
+		if w.Parent != "" {
+			if parent, err = strconv.ParseUint(w.Parent, 16, 64); err != nil {
+				return nil, fmt.Errorf("telemetry: span line %d: bad parent %q", line, w.Parent)
+			}
+		}
+		s := Span{
+			ID: id, Parent: parent, Kind: w.Kind, Name: w.Name,
+			Host: w.Host, VM: w.VM,
+			Start:  sim.Time(math.Round(w.Start * float64(sim.Second))),
+			End:    sim.Time(math.Round(w.End * float64(sim.Second))),
+			Detail: w.Detail,
+		}
+		if w.Score != nil {
+			s.Score, s.hasScore = *w.Score, true
+		}
+		if w.CostUS != nil {
+			s.Cost, s.hasCost = sim.Duration(*w.CostUS), true
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// HasScore reports whether the span carries a score decoration (set by
+// SetScore, preserved through the JSONL round trip).
+func (s *Span) HasScore() bool { return s.hasScore }
+
+// HasCost reports whether the span carries a cost decoration.
+func (s *Span) HasCost() bool { return s.hasCost }
+
+// chromeEvent is one Chrome trace-event object. Durations and timestamps
+// are in microseconds — exactly sim.Time's unit, so the export is lossless.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"`
+	Dur  *int64         `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace exports the spans as a Chrome trace-event JSON array
+// (complete "X" events on pid 0), loadable in Perfetto or chrome://tracing.
+// Each distinct host maps to one thread in first-seen order (tid 1, 2, …)
+// with a thread_name metadata record; host-less spans (run, cluster-level
+// control decisions) land on tid 0 "main".
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	spans := t.Spans()
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("[\n"); err != nil {
+		return err
+	}
+	enc := func(v any, last bool) error {
+		line, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		if _, err := bw.Write(line); err != nil {
+			return err
+		}
+		if !last {
+			if err := bw.WriteByte(','); err != nil {
+				return err
+			}
+		}
+		return bw.WriteByte('\n')
+	}
+
+	hosts := hostOrder(spans)
+	tids := map[string]int{"": 0}
+	for i, h := range hosts {
+		tids[h] = i + 1
+	}
+	total := 1 + len(hosts) + 1 + len(spans) // process_name + thread_names + cluster thread + spans
+	n := 0
+	emit := func(v any) error {
+		n++
+		return enc(v, n == total)
+	}
+	if err := emit(chromeEvent{Name: "process_name", Ph: "M", PID: 0, TID: 0,
+		Args: map[string]any{"name": "vprobe"}}); err != nil {
+		return err
+	}
+	if err := emit(chromeEvent{Name: "thread_name", Ph: "M", PID: 0, TID: 0,
+		Args: map[string]any{"name": "main"}}); err != nil {
+		return err
+	}
+	for _, h := range hosts {
+		if err := emit(chromeEvent{Name: "thread_name", Ph: "M", PID: 0, TID: tids[h],
+			Args: map[string]any{"name": h}}); err != nil {
+			return err
+		}
+	}
+	for i := range spans {
+		s := &spans[i]
+		dur := int64(s.End - s.Start)
+		if dur < 0 {
+			dur = 0
+		}
+		args := map[string]any{"kind": string(s.Kind)}
+		if s.VM != "" {
+			args["vm"] = s.VM
+		}
+		if s.Detail != "" {
+			args["detail"] = s.Detail
+		}
+		if s.hasScore {
+			args["score"] = s.Score
+		}
+		if s.hasCost {
+			args["cost_us"] = s.Cost.Micros()
+		}
+		args["id"] = strconv.FormatUint(s.ID, 16)
+		if s.Parent != 0 {
+			args["parent"] = strconv.FormatUint(s.Parent, 16)
+		}
+		if err := emit(chromeEvent{Name: s.Name, Ph: "X", TS: int64(s.Start),
+			Dur: &dur, PID: 0, TID: tids[s.Host], Args: args}); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("]\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ValidateChromeTrace checks that data parses as a Chrome trace-event JSON
+// array every trace viewer accepts: a top-level array whose elements each
+// carry name/ph/pid/tid, with "X" events also carrying a non-negative ts
+// and dur. It returns the number of events (metadata included). It is the
+// span-export twin of ValidateExposition — a deliberately independent
+// checker, so an export bug cannot hide behind a shared implementation.
+func ValidateChromeTrace(data []byte) (events int, err error) {
+	var raw []map[string]json.RawMessage
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return 0, fmt.Errorf("telemetry: chrome trace: not a JSON array: %w", err)
+	}
+	for i, ev := range raw {
+		var ph, name string
+		if err := requireString(ev, "ph", &ph); err != nil {
+			return 0, fmt.Errorf("telemetry: chrome trace event %d: %w", i, err)
+		}
+		if err := requireString(ev, "name", &name); err != nil {
+			return 0, fmt.Errorf("telemetry: chrome trace event %d: %w", i, err)
+		}
+		for _, key := range []string{"pid", "tid"} {
+			var n float64
+			if err := requireNumber(ev, key, &n); err != nil {
+				return 0, fmt.Errorf("telemetry: chrome trace event %d (%s): %w", i, name, err)
+			}
+		}
+		switch ph {
+		case "M": // metadata: no timestamp required
+		case "X":
+			var ts, dur float64
+			if err := requireNumber(ev, "ts", &ts); err != nil {
+				return 0, fmt.Errorf("telemetry: chrome trace event %d (%s): %w", i, name, err)
+			}
+			if err := requireNumber(ev, "dur", &dur); err != nil {
+				return 0, fmt.Errorf("telemetry: chrome trace event %d (%s): %w", i, name, err)
+			}
+			if ts < 0 || dur < 0 {
+				return 0, fmt.Errorf("telemetry: chrome trace event %d (%s): negative ts/dur", i, name)
+			}
+		default:
+			return 0, fmt.Errorf("telemetry: chrome trace event %d (%s): unsupported phase %q", i, name, ph)
+		}
+	}
+	if len(raw) == 0 {
+		return 0, fmt.Errorf("telemetry: chrome trace: no events")
+	}
+	return len(raw), nil
+}
+
+func requireString(ev map[string]json.RawMessage, key string, out *string) error {
+	raw, ok := ev[key]
+	if !ok {
+		return fmt.Errorf("missing %q", key)
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return fmt.Errorf("%q is not a string", key)
+	}
+	return nil
+}
+
+func requireNumber(ev map[string]json.RawMessage, key string, out *float64) error {
+	raw, ok := ev[key]
+	if !ok {
+		return fmt.Errorf("missing %q", key)
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return fmt.Errorf("%q is not a number", key)
+	}
+	return nil
+}

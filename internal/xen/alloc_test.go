@@ -47,7 +47,7 @@ func newSteadyStateHV(t testing.TB, kind sched.Kind) *xen.Hypervisor {
 // off). Any regression that reintroduces a per-quantum allocation fails
 // this test rather than quietly degrading throughput.
 func TestQuantumSteadyStateZeroAlloc(t *testing.T) {
-	testQuantumSteadyStateZeroAlloc(t, false)
+	testQuantumSteadyStateZeroAlloc(t, false, false)
 }
 
 // TestQuantumSteadyStateZeroAllocTelemetry re-runs the guardrail with the
@@ -55,15 +55,26 @@ func TestQuantumSteadyStateZeroAlloc(t *testing.T) {
 // the preallocated ring must keep the instrumented loop allocation-free
 // too.
 func TestQuantumSteadyStateZeroAllocTelemetry(t *testing.T) {
-	testQuantumSteadyStateZeroAlloc(t, true)
+	testQuantumSteadyStateZeroAlloc(t, true, false)
 }
 
-func testQuantumSteadyStateZeroAlloc(t *testing.T, withTele bool) {
+// TestQuantumSteadyStateZeroAllocSpans re-runs the guardrail with the span
+// flight recorder attached: span recording hooks only lifecycle
+// transitions, never the quantum loop, so the steady state must stay
+// allocation-free with tracing on as well.
+func TestQuantumSteadyStateZeroAllocSpans(t *testing.T) {
+	testQuantumSteadyStateZeroAlloc(t, false, true)
+}
+
+func testQuantumSteadyStateZeroAlloc(t *testing.T, withTele, withSpans bool) {
 	h := newSteadyStateHV(t, sched.KindCredit)
 	if withTele {
 		s := telemetry.NewSampler(telemetry.NewRegistry(), sim.Second)
 		xen.AttachTelemetry(h, s)
 		s.Start(h.Engine)
+	}
+	if withSpans {
+		xen.AttachSpans(h, telemetry.NewTracer(1, 0))
 	}
 	// Warm up past boot, first-touch windows, and buffer growth.
 	h.Run(2 * sim.Second)

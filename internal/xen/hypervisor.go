@@ -90,6 +90,10 @@ type Hypervisor struct {
 	// Tele, when set (AttachTelemetry), is the pre-bound metric handle
 	// set. Hot paths guard on nil so telemetry-off runs pay one branch.
 	Tele *Telemetry
+	// Spans is the span handle set (nil when tracing is off; see
+	// spans.go). The cluster layer leaves this nil on its hosts and
+	// records spans on the cluster engine instead.
+	Spans *Spans
 
 	placeCursor int
 
@@ -198,6 +202,7 @@ func (h *Hypervisor) AddDomain(name string, memMB int64, vcpus int, pol mem.Poli
 		h.vcpuByID[v.ID] = v
 	}
 	h.Domains = append(h.Domains, d)
+	h.Spans.domainAdded(d)
 	return d, nil
 }
 

@@ -36,6 +36,7 @@ func (h *Hypervisor) PauseDomain(d *Domain) error {
 		v.State = StateBlocked
 		v.paused = true
 	}
+	h.Spans.domainPoint(d, "pause", "all vcpus stopped")
 	h.emit(EventDomPause, -1, -1, numa.NoNode, "", "domain %s paused", d.Name)
 	return nil
 }
@@ -63,6 +64,7 @@ func (h *Hypervisor) ResumeDomain(d *Domain) error {
 		h.enqueue(target, v)
 	}
 	h.kickIdle()
+	h.Spans.domainPoint(d, "resume", "vcpus re-enqueued")
 	h.emit(EventDomResume, -1, -1, numa.NoNode, "", "domain %s resumed", d.Name)
 	return nil
 }
@@ -81,6 +83,7 @@ func (h *Hypervisor) DestroyDomain(d *Domain) error {
 	}
 	d.Destroyed = true
 	h.Alloc.Release(d.MemDist, d.MemoryMB)
+	h.Spans.domainDestroyed(d)
 	h.emit(EventDomDestroy, -1, -1, numa.NoNode, "", "domain %s destroyed", d.Name)
 	h.checkWatch()
 	return nil

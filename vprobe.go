@@ -120,6 +120,10 @@ type Config struct {
 	// (see NewTelemetry). A collector serves exactly one simulator;
 	// reusing one fails with ErrTelemetryAttached.
 	Telemetry *Telemetry
+	// Spans, when non-nil, records the run's span flight recorder: domain
+	// lifecycle spans in virtual time (see NewTracing). A recorder serves
+	// exactly one run; reusing one fails with ErrTracingAttached.
+	Spans *Tracing
 	// Trace receives formatted scheduling trace lines when non-nil.
 	//
 	// Deprecated: Trace is the old string-based hook; it is served by a
@@ -209,12 +213,26 @@ func NewSimulator(cfg Config) (*Simulator, error) {
 		}
 		xen.AttachTelemetry(h, cfg.Telemetry.sampler)
 	}
+	if cfg.Spans != nil {
+		// Span IDs derive from the effective seed (after the default), so
+		// the same Config always records the same IDs.
+		tracer, err := cfg.Spans.attach(xcfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		xen.AttachSpans(h, tracer)
+	}
 	return &Simulator{h: h, cfg: cfg, idleFlags: make(map[*xen.Domain]bool)}, nil
 }
 
 // Hypervisor exposes the underlying model for advanced use (inspection,
 // custom policies). The returned value is owned by the simulator.
 func (s *Simulator) Hypervisor() *xen.Hypervisor { return s.h }
+
+// Tracing returns the run's span recorder, or nil when tracing is off —
+// the handle a caller needs when CompileScenario created the recorder
+// from a spec's trace field.
+func (s *Simulator) Tracing() *Tracing { return s.cfg.Spans }
 
 // VM is a created virtual machine.
 type VM struct {
@@ -366,7 +384,11 @@ func (s *Simulator) run(ctx context.Context, horizon time.Duration, watchAll boo
 		// at shared period boundaries the model updates first, so each
 		// snapshot sees a fresh census.
 		if s.cfg.Telemetry != nil {
-			s.cfg.Telemetry.sampler.Start(s.h.Engine)
+			sampler := s.cfg.Telemetry.sampler
+			// Size the ring to the horizon so it never wraps and the
+			// export covers the whole run.
+			sampler.Reserve(int(sim.Duration(horizon.Microseconds())/sampler.Period()) + 2)
+			sampler.Start(s.h.Engine)
 		}
 		s.started = true
 	}
@@ -375,6 +397,9 @@ func (s *Simulator) run(ctx context.Context, horizon time.Duration, watchAll boo
 		return nil, fmt.Errorf("vprobe: run interrupted at %v: %w",
 			time.Duration(end)*time.Microsecond, err)
 	}
+	// Close still-open spans (live domains, the run span) at the end time
+	// so exports never contain open intervals.
+	s.h.Spans.Close()
 	return buildReport(s, end), nil
 }
 
